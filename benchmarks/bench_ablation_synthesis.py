@@ -1,0 +1,127 @@
+"""Ablations of the design methodology's optimization passes.
+
+DESIGN.md calls out three load-bearing choices: the inter-partition
+processor moves (Appendix steps 7-9), the route optimization
+(Best_Route + the global reroute pass), and multi-seed restarts.  Each
+ablation disables one and measures the resource cost on the CG-16
+pattern (the paper's running example).
+"""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis import generate_network
+from repro.workloads import cg
+
+RESTARTS = 6
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return cg(16).pattern
+
+
+@pytest.fixture(scope="module")
+def full_design(pattern):
+    return generate_network(pattern, seed=0, restarts=RESTARTS)
+
+
+def test_full_methodology(benchmark, pattern):
+    design = benchmark.pedantic(
+        generate_network,
+        args=(pattern,),
+        kwargs={"seed": 0, "restarts": RESTARTS},
+        rounds=1,
+        iterations=1,
+    )
+    assert design.certificate.contention_free
+
+
+def test_ablate_processor_moves(benchmark, pattern, full_design, show):
+    """Without the move pass the bisection cannot repair a bad random
+    halving, so the network needs more resources."""
+    try:
+        ablated = benchmark.pedantic(
+            generate_network,
+            args=(pattern,),
+            kwargs={"seed": 0, "restarts": RESTARTS, "moves": False},
+            rounds=1,
+            iterations=1,
+        )
+    except SynthesisError:
+        show("ablate moves: synthesis infeasible without processor moves")
+        return
+    show(
+        f"moves on: {full_design.num_switches} sw / {full_design.num_links} links; "
+        f"moves off: {ablated.num_switches} sw / {ablated.num_links} links"
+    )
+    assert ablated.num_links >= full_design.num_links
+
+
+def test_ablate_reroute(benchmark, pattern, full_design, show):
+    """The global reroute pass mainly rescues dense patterns; on CG it
+    must never hurt."""
+    try:
+        ablated = benchmark.pedantic(
+            generate_network,
+            args=(pattern,),
+            kwargs={"seed": 0, "restarts": RESTARTS, "reroute": False},
+            rounds=1,
+            iterations=1,
+        )
+    except SynthesisError:
+        show("ablate reroute: synthesis infeasible without rerouting")
+        return
+    show(
+        f"reroute on: {full_design.num_links} links; "
+        f"reroute off: {ablated.num_links} links"
+    )
+    assert ablated.num_links >= full_design.num_links * 0.9
+
+
+def test_annealed_variant_robustness(benchmark, pattern, show):
+    """The annealed move schedule escapes plateaus the greedy walk
+    cannot: across a seed sweep it should fail no more often than the
+    greedy Appendix variant and match its best quality."""
+    from repro.errors import SynthesisError
+    from repro.model import CliqueAnalysis
+    from repro.synthesis import Partitioner
+
+    analysis = CliqueAnalysis.of(pattern)
+
+    def sweep(anneal):
+        results, fails = [], 0
+        for seed in range(8):
+            try:
+                r = Partitioner(analysis, seed=seed, anneal=anneal).run()
+                results.append((r.total_links(), len(r.state.switches)))
+            except SynthesisError:
+                fails += 1
+        return min(results), fails
+
+    (greedy_best, greedy_fails) = benchmark.pedantic(
+        sweep, args=(False,), rounds=1, iterations=1
+    )
+    annealed_best, annealed_fails = sweep(True)
+    show(
+        f"greedy: best {greedy_best}, {greedy_fails}/8 seeds failed; "
+        f"annealed: best {annealed_best}, {annealed_fails}/8 seeds failed"
+    )
+    assert annealed_fails <= greedy_fails
+    assert annealed_best[0] <= greedy_best[0] * 1.25
+
+
+def test_ablate_restarts(benchmark, pattern, full_design, show):
+    """A single seed is hostage to its random initial halving."""
+    single = benchmark.pedantic(
+        generate_network,
+        args=(pattern,),
+        kwargs={"seed": 0, "restarts": 1},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        f"restarts={RESTARTS}: {full_design.num_links} links; "
+        f"restarts=1: {single.num_links} links"
+    )
+    assert single.num_links >= full_design.num_links

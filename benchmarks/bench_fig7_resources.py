@@ -1,0 +1,45 @@
+"""Figure 7: switch/link area of generated networks vs mesh and torus.
+
+Regenerates both panels — (a) the 8/9-node configurations, (b) the
+16-node configurations — asserting the paper's headline shape: the
+generated networks use strictly fewer resources than the mesh (and far
+less link area than the torus), with CG the most compressible pattern.
+"""
+
+import pytest
+
+from repro.eval import figure7_rows, figure7_table
+
+
+@pytest.mark.figure("7a")
+def test_fig7a_small_resources(benchmark, show):
+    rows = benchmark.pedantic(
+        figure7_rows, args=("small",), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    show(figure7_table(rows, "Figure 7(a): resources vs mesh (8/9 nodes)"))
+    for row in rows:
+        assert row.generated_switch_ratio < 1.0
+        assert row.generated_link_ratio < 1.0
+        # Torus reference: same switches, double link area (paper text).
+        assert row.torus_link_ratio == 2.0
+
+
+@pytest.mark.figure("7b")
+def test_fig7b_large_resources(benchmark, show):
+    rows = benchmark.pedantic(
+        figure7_rows, args=("large",), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    show(figure7_table(rows, "Figure 7(b): resources vs mesh (16 nodes)"))
+    by_name = {r.benchmark: r for r in rows}
+    for row in rows:
+        assert row.generated_switch_ratio < 1.0
+        assert row.generated_link_ratio < 1.0
+    # CG compresses best (the paper's best case: ~50% switches).
+    cg = by_name["cg-16"]
+    assert cg.generated_switch_ratio <= min(
+        r.generated_switch_ratio for r in rows
+    )
+    # BT/SP have the most complicated patterns and need the most
+    # resources of the suite.
+    assert by_name["bt-16"].generated_switch_ratio >= cg.generated_switch_ratio
+    assert by_name["sp-16"].generated_switch_ratio >= cg.generated_switch_ratio

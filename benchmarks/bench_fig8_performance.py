@@ -1,0 +1,61 @@
+"""Figure 8: trace-driven performance vs the non-blocking crossbar.
+
+Regenerates both panels of Figure 8 — execution and communication time
+of mesh (DOR), torus (fully adaptive) and the generated networks,
+normalized to the crossbar — and asserts the paper's shape:
+
+* the generated network stays within a few percent of the crossbar,
+* it never loses meaningfully to the mesh,
+* the CG-16 mesh penalty is the largest of the suite,
+* no deadlocks occur in any run (paper Section 4.2).
+"""
+
+import pytest
+
+from repro.eval import figure8_rows, figure8_table
+
+# Generated networks must track the ideal crossbar closely; the paper
+# reports a gap under 4%, we allow a little slack for the reimplemented
+# substrate.
+CROSSBAR_TRACKING = 1.06
+
+
+def _by_key(rows):
+    return {(r.benchmark, r.topology): r for r in rows}
+
+
+@pytest.mark.figure("8a")
+def test_fig8a_small_performance(benchmark, show):
+    rows = benchmark.pedantic(
+        figure8_rows, args=("small",), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    show(figure8_table(rows, "Figure 8(a): time vs crossbar (8/9 nodes)"))
+    table = _by_key(rows)
+    for (name, topo), row in table.items():
+        assert row.deadlocks == 0, (name, topo)
+        if topo == "generated":
+            assert row.execution_ratio <= CROSSBAR_TRACKING, name
+            mesh = table[(name, "mesh")]
+            assert row.execution_ratio <= mesh.execution_ratio * 1.02, name
+
+
+@pytest.mark.figure("8b")
+def test_fig8b_large_performance(benchmark, show):
+    rows = benchmark.pedantic(
+        figure8_rows, args=("large",), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    show(figure8_table(rows, "Figure 8(b): time vs crossbar (16 nodes)"))
+    table = _by_key(rows)
+    for (name, topo), row in table.items():
+        assert row.deadlocks == 0, (name, topo)
+        if topo == "generated":
+            assert row.execution_ratio <= CROSSBAR_TRACKING, name
+            mesh = table[(name, "mesh")]
+            assert row.execution_ratio <= mesh.execution_ratio * 1.02, name
+    # CG shows the largest mesh penalty of the suite (paper: ~18% exec,
+    # ~26% comm at 16 nodes).
+    cg_mesh = table[("cg-16", "mesh")]
+    assert cg_mesh.execution_ratio == max(
+        r.execution_ratio for (n, t), r in table.items() if t == "mesh"
+    )
+    assert cg_mesh.communication_ratio > 1.10

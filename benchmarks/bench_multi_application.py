@@ -1,0 +1,46 @@
+"""Multi-application synthesis: the cost of generality.
+
+Designs one network for the CG+FFT workload pair (8 nodes) and
+compares its resources against each specialized network and the mesh.
+The shared network must serve both applications contention-free while
+still undercutting the mesh.
+"""
+
+import pytest
+
+from repro.model import check_contention_free
+from repro.synthesis import generate_network, generate_network_for_set
+from repro.topology import mesh_for
+from repro.workloads import cg, fft
+
+
+@pytest.mark.figure("multi-app-extension")
+def test_shared_network_cost(benchmark, show):
+    cg_p = cg(8, iterations=2).pattern
+    fft_p = fft(8, iterations=2).pattern
+
+    shared = benchmark.pedantic(
+        generate_network_for_set,
+        args=([cg_p, fft_p],),
+        kwargs={"seed": 0, "restarts": 8},
+        rounds=1,
+        iterations=1,
+    )
+    own_cg = generate_network(cg_p, seed=0, restarts=8)
+    own_fft = generate_network(fft_p, seed=0, restarts=8)
+    mesh = mesh_for(8).network
+
+    show(
+        "resources (switches/links): "
+        f"cg-only {own_cg.num_switches}/{own_cg.num_links}, "
+        f"fft-only {own_fft.num_switches}/{own_fft.num_links}, "
+        f"shared {shared.num_switches}/{shared.num_links}, "
+        f"mesh {mesh.num_switches}/{mesh.num_links}"
+    )
+    # Correct for both applications...
+    for p in (cg_p, fft_p):
+        assert check_contention_free(p, shared.topology.routing).contention_free
+    # ...costlier than each specialized network, cheaper than the mesh.
+    assert shared.num_links >= max(own_cg.num_links, own_fft.num_links)
+    assert shared.num_switches < mesh.num_switches
+    assert shared.num_links < mesh.num_links

@@ -1,0 +1,52 @@
+"""Energy comparison (paper Section 5's power-efficiency direction).
+
+For each small benchmark, estimates the energy of replaying its trace
+on the mesh, the torus and the generated network.  Generated networks
+should win on total energy: fewer switches and links leak less, and
+specialized routes shorten average flit paths.
+"""
+
+import pytest
+
+from repro.eval import paper_sizes, prepare, run_performance
+from repro.eval.power import estimate_energy
+from repro.simulator import SimConfig
+
+
+def _energy_rows():
+    rows = []
+    for name, n in paper_sizes("small").items():
+        setup = prepare(name, n, seed=0)
+        results = run_performance(setup, config=SimConfig(max_cycles=20_000_000))
+        for kind in ("mesh", "torus", "generated"):
+            top = setup.topology(kind)
+            if kind == "generated":
+                lengths = dict(setup.floorplan.link_costs)
+            elif kind == "torus":
+                lengths = setup.link_delays("torus")
+            else:
+                lengths = {l.link_id: 1 for l in top.network.links}
+            report = estimate_energy(
+                results[kind],
+                num_switches=top.network.num_switches,
+                link_lengths=lengths,
+            )
+            rows.append((setup.name, kind, report))
+    return rows
+
+
+@pytest.mark.figure("power-extension")
+def test_generated_networks_save_energy(benchmark, show):
+    rows = benchmark.pedantic(_energy_rows, rounds=1, iterations=1)
+    lines = ["energy (pJ, lower is better):"]
+    by_bench = {}
+    for name, kind, report in rows:
+        by_bench.setdefault(name, {})[kind] = report
+        lines.append(
+            f"  {name:>6} {kind:>9}: dynamic {report.dynamic_pj:12.0f} "
+            f"static {report.static_pj:12.0f} total {report.total_pj:12.0f}"
+        )
+    show("\n".join(lines))
+    for name, kinds in by_bench.items():
+        assert kinds["generated"].total_pj < kinds["mesh"].total_pj, name
+        assert kinds["generated"].total_pj < kinds["torus"].total_pj, name

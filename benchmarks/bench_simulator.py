@@ -1,0 +1,69 @@
+"""Simulator micro-benchmarks: engine throughput and policy overheads.
+
+Not a paper figure; quantifies the substrate so regressions in the
+flit-level engine are visible independently of the evaluation results.
+"""
+
+import pytest
+
+from repro.simulator import SimConfig, simulate
+from repro.topology import crossbar, mesh, torus
+from repro.workloads import PhaseProgramBuilder
+
+
+def _saturating_program(n, phases=6, size=512):
+    b = PhaseProgramBuilder(n, "saturate")
+    for k in range(phases):
+        b.compute(50)
+        b.phase([(i, (i + k + 1) % n, size) for i in range(n)])
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def program16():
+    return _saturating_program(16)
+
+
+def test_engine_throughput_mesh(benchmark, program16):
+    result = benchmark.pedantic(
+        simulate,
+        args=(program16, mesh(4, 4)),
+        kwargs={"config": SimConfig(max_cycles=5_000_000)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.delivered_packets == program16.total_messages
+
+
+def test_engine_throughput_torus_adaptive(benchmark, program16):
+    result = benchmark.pedantic(
+        simulate,
+        args=(program16, torus(4, 4)),
+        kwargs={"config": SimConfig(max_cycles=5_000_000)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.delivered_packets == program16.total_messages
+
+
+def test_engine_throughput_crossbar(benchmark, program16):
+    result = benchmark.pedantic(
+        simulate,
+        args=(program16, crossbar(16)),
+        kwargs={"config": SimConfig(max_cycles=5_000_000)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.delivered_packets == program16.total_messages
+
+
+def test_flit_hop_rate(show, program16):
+    """Report flit-hops per wall second — the engine's work rate."""
+    import time
+
+    t0 = time.perf_counter()
+    result = simulate(program16, mesh(4, 4), SimConfig(max_cycles=5_000_000))
+    elapsed = time.perf_counter() - t0
+    rate = result.flit_hops / max(elapsed, 1e-9)
+    show(f"engine rate: {rate:,.0f} flit-hops/s over {result.flit_hops} hops")
+    assert result.flit_hops > 0

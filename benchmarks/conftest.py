@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks double as the reproduction harness for the paper's
+figures: each bench regenerates one table/figure and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `from benchmarks...` style helpers if ever needed.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): benchmark regenerates a paper figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print helper that survives pytest's capture when -s is absent."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show

@@ -1,0 +1,32 @@
+"""Section 4.2's robustness study: foreign traces on the CG network.
+
+The paper runs the FFT and BT traces on the network generated for CG:
+FFT degrades very little (its row/column exchanges resemble CG's
+reduction+transpose), while BT loses roughly 20% (its ADI wavefronts do
+not).  This script reproduces the experiment.
+
+Run:  python examples/cross_workload_study.py
+"""
+
+from repro.eval import cross_workload_rows, cross_workload_table
+
+
+def main():
+    rows = cross_workload_rows(seed=0)
+    print(
+        cross_workload_table(
+            rows, "FFT-16 and BT-16 replayed on the CG-16 generated network"
+        )
+    )
+    print()
+    for guest in ("fft-16", "bt-16"):
+        own = next(r for r in rows if r.guest == guest and r.network == "own")
+        host = next(r for r in rows if r.guest == guest and r.network == "host")
+        print(
+            f"{guest}: {100 * host.degradation_vs_own:+.1f}% on the CG network "
+            f"vs its own ({own.execution_cycles} cycles)"
+        )
+
+
+if __name__ == "__main__":
+    main()

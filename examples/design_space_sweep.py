@@ -1,0 +1,54 @@
+"""Design-space exploration: the cost of the degree constraint.
+
+Sweeps the maximum node degree from generous to tight for the CG-16
+pattern and reports how switch count, link count and simulated
+performance respond — the resource/performance trade-off the paper's
+methodology is built to navigate.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.errors import SynthesisError
+from repro.floorplan import place
+from repro.simulator import SimConfig, simulate
+from repro.synthesis import DesignConstraints, generate_network
+from repro.topology import crossbar
+from repro.workloads import cg
+
+
+def main():
+    bench = cg(16)
+    config = SimConfig()
+    baseline = simulate(bench.program, crossbar(16), config)
+    print(f"crossbar reference: {baseline.execution_cycles} cycles")
+    print()
+    header = f"{'max degree':>10}  {'switches':>8}  {'links':>5}  {'exec cycles':>11}  {'vs xbar':>7}"
+    print(header)
+    print("-" * len(header))
+    for max_degree in (16, 8, 6, 5, 4, 3):
+        try:
+            design = generate_network(
+                bench.pattern,
+                constraints=DesignConstraints(max_degree=max_degree),
+                seed=0,
+                restarts=8,
+            )
+        except SynthesisError:
+            print(f"{max_degree:>10}  {'—':>8}  {'—':>5}  {'infeasible':>11}")
+            continue
+        plan = place(design.network, seed=0)
+        sim = simulate(
+            bench.program,
+            design.topology,
+            config,
+            link_delays=plan.link_delays(),
+        )
+        ratio = sim.execution_cycles / baseline.execution_cycles
+        print(
+            f"{max_degree:>10}  {design.num_switches:>8}  {design.num_links:>5}  "
+            f"{sim.execution_cycles:>11}  {ratio:>7.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Regenerate every table/figure of the paper's evaluation in one run.
+
+Prints Figures 7(a), 7(b), 8(a), 8(b) and the Section 4.2
+cross-workload study.  Takes several minutes (ten network syntheses and
+~44 flit-level simulations).
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.eval import (
+    cross_workload_rows,
+    cross_workload_table,
+    figure7_rows,
+    figure7_table,
+    figure8_rows,
+    figure8_table,
+)
+
+
+def main():
+    start = time.time()
+    for size, label in (("small", "a"), ("large", "b")):
+        print(
+            figure7_table(
+                figure7_rows(size, seed=0),
+                f"Figure 7({label}): resources normalized to the mesh "
+                f"({'8/9' if size == 'small' else '16'} nodes)",
+            )
+        )
+        print()
+    for size, label in (("small", "a"), ("large", "b")):
+        print(
+            figure8_table(
+                figure8_rows(size, seed=0),
+                f"Figure 8({label}): time normalized to the crossbar "
+                f"({'8/9' if size == 'small' else '16'} nodes)",
+            )
+        )
+        print()
+    print(
+        cross_workload_table(
+            cross_workload_rows(seed=0),
+            "Section 4.2: FFT/BT traces on the CG-16 generated network",
+        )
+    )
+    print(f"\n[total {time.time() - start:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

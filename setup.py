@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working on toolchains
+without PEP 517 wheel support.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of Ho & Pinkston, "A Methodology for Designing
+Efficient On-Chip Interconnects on Well-Behaved Communication Patterns"
+(HPCA 2003).
+
+The package is organized around the paper's pipeline:
+
+* :mod:`repro.model` — the contention model (Definitions 1-7, Theorem 1),
+* :mod:`repro.topology` — system graphs, reference topologies, routing,
+* :mod:`repro.synthesis` — the recursive-bisection design methodology,
+* :mod:`repro.simulator` — a trace-driven flit-level network simulator,
+* :mod:`repro.workloads` — NAS-like benchmark program generators,
+* :mod:`repro.floorplan` — tile floorplanning and the area model,
+* :mod:`repro.eval` — the paper's experiments (Figures 7 and 8).
+"""
+
+from repro.model import (
+    CliqueAnalysis,
+    Communication,
+    CommunicationPattern,
+    ContentionEvent,
+    Message,
+    check_contention_free,
+    read_pattern,
+    write_pattern,
+)
+from repro.simulator import SimConfig, simulate
+from repro.synthesis import (
+    DesignConstraints,
+    GeneratedDesign,
+    generate_network,
+    generate_network_for_set,
+)
+from repro.topology import (
+    Network,
+    Topology,
+    crossbar,
+    fat_tree,
+    mesh,
+    mesh_for,
+    torus,
+    torus_for,
+)
+from repro.workloads import PhaseProgramBuilder, benchmark, extract_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CliqueAnalysis",
+    "Communication",
+    "CommunicationPattern",
+    "ContentionEvent",
+    "DesignConstraints",
+    "GeneratedDesign",
+    "Message",
+    "Network",
+    "PhaseProgramBuilder",
+    "SimConfig",
+    "Topology",
+    "benchmark",
+    "check_contention_free",
+    "crossbar",
+    "extract_pattern",
+    "fat_tree",
+    "generate_network",
+    "generate_network_for_set",
+    "mesh",
+    "mesh_for",
+    "read_pattern",
+    "simulate",
+    "torus",
+    "torus_for",
+    "write_pattern",
+    "__version__",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``synthesize`` — run the design methodology on a built-in benchmark
+  or a trace file and print the generated network.
+* ``simulate`` — replay a benchmark on one topology and print stats.
+* ``figure7`` / ``figure8`` — regenerate the paper's evaluation tables.
+* ``cross-workload`` — the Section 4.2 robustness study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Application-specific on-chip interconnect synthesis "
+            "(Ho & Pinkston, HPCA 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="design a network for a pattern")
+    source = syn.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark", choices=("bt", "cg", "fft", "mg", "sp"))
+    source.add_argument("--trace", help="path to a JSONL trace file")
+    syn.add_argument("--nodes", type=int, default=16)
+    syn.add_argument("--max-degree", type=int, default=5)
+    syn.add_argument("--seed", type=int, default=0)
+    syn.add_argument("--restarts", type=int, default=8)
+    syn.add_argument(
+        "--floorplan", action="store_true", help="also place and render the result"
+    )
+
+    sim = sub.add_parser("simulate", help="replay a benchmark on a topology")
+    sim.add_argument("--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp"))
+    sim.add_argument("--nodes", type=int, default=16)
+    sim.add_argument(
+        "--topology",
+        default="generated",
+        choices=("crossbar", "mesh", "torus", "generated"),
+    )
+    sim.add_argument("--seed", type=int, default=0)
+
+    for name in ("figure7", "figure8"):
+        fig = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        fig.add_argument("--size", default="small", choices=("small", "large"))
+        fig.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("cross-workload", help="Section 4.2 robustness study")
+
+    insp = sub.add_parser("inspect", help="visualize a benchmark's pattern")
+    insp.add_argument("--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp"))
+    insp.add_argument("--nodes", type=int, default=16)
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.floorplan import place
+    from repro.synthesis import DesignConstraints, generate_network
+    from repro.workloads import benchmark, extract_pattern, read_trace
+
+    if args.benchmark:
+        pattern = benchmark(args.benchmark, args.nodes).pattern
+    else:
+        pattern = extract_pattern(read_trace(args.trace))
+    design = generate_network(
+        pattern,
+        constraints=DesignConstraints(max_degree=args.max_degree),
+        seed=args.seed,
+        restarts=args.restarts,
+    )
+    print(design.network.describe())
+    print(f"contention-free: {design.certificate.contention_free}")
+    print(
+        f"bisections: {design.result.bisections}, "
+        f"route moves: {design.result.route_moves}, "
+        f"processor moves: {design.result.processor_moves}"
+    )
+    if args.floorplan:
+        plan = place(design.network, seed=args.seed)
+        print()
+        print(plan.render())
+        print(f"link area: {plan.total_link_area} (feasible: {plan.feasible})")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.eval import prepare, run_performance
+
+    setup = prepare(args.benchmark, args.nodes, seed=args.seed)
+    results = run_performance(setup, kinds=(args.topology,))
+    print(results[args.topology].summary())
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    from repro.eval import figure7_rows, figure7_table
+
+    label = "7(a)" if args.size == "small" else "7(b)"
+    print(
+        figure7_table(
+            figure7_rows(args.size, seed=args.seed),
+            f"Figure {label}: resources normalized to the mesh",
+        )
+    )
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    from repro.eval import figure8_rows, figure8_table
+
+    label = "8(a)" if args.size == "small" else "8(b)"
+    print(
+        figure8_table(
+            figure8_rows(args.size, seed=args.seed),
+            f"Figure {label}: time normalized to the crossbar",
+        )
+    )
+    return 0
+
+
+def _cmd_cross_workload(_args) -> int:
+    from repro.eval import cross_workload_rows, cross_workload_table
+
+    print(
+        cross_workload_table(
+            cross_workload_rows(seed=0),
+            "Section 4.2: foreign traces on the CG-16 network",
+        )
+    )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.model import CliqueAnalysis
+    from repro.viz import render_comm_matrix, render_pattern_timeline
+    from repro.workloads import benchmark
+
+    bench = benchmark(args.benchmark, args.nodes)
+    analysis = CliqueAnalysis.of(bench.pattern)
+    print(render_pattern_timeline(bench.pattern))
+    print()
+    print("traffic matrix (message counts):")
+    print(render_comm_matrix(bench.pattern))
+    print()
+    print(
+        f"distinct contention periods: {len(analysis.max_cliques)}, "
+        f"widest permutation: {analysis.largest_clique_size}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "simulate": _cmd_simulate,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "cross-workload": _cmd_cross_workload,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

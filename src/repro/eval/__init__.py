@@ -1,0 +1,37 @@
+"""The paper's evaluation (Section 4) as reproducible experiments."""
+
+from repro.eval.experiments import (
+    CrossWorkloadRow,
+    Figure7Row,
+    Figure8Row,
+    cross_workload_rows,
+    figure7_rows,
+    figure8_rows,
+    paper_sizes,
+)
+from repro.eval.report import cross_workload_table, figure7_table, figure8_table
+from repro.eval.runner import (
+    TOPOLOGY_ORDER,
+    BenchmarkSetup,
+    prepare,
+    run_cross_workload,
+    run_performance,
+)
+
+__all__ = [
+    "BenchmarkSetup",
+    "CrossWorkloadRow",
+    "Figure7Row",
+    "Figure8Row",
+    "TOPOLOGY_ORDER",
+    "cross_workload_rows",
+    "cross_workload_table",
+    "figure7_rows",
+    "figure7_table",
+    "figure8_rows",
+    "figure8_table",
+    "paper_sizes",
+    "prepare",
+    "run_cross_workload",
+    "run_performance",
+]

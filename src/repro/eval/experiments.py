@@ -1,0 +1,140 @@
+"""The paper's experiments as structured row producers.
+
+Each function regenerates one table/figure of the evaluation section:
+
+* :func:`figure7_rows` — switch/link area of the generated networks
+  normalized to the mesh (Figure 7a for the 8/9-node sizes, 7b for 16).
+* :func:`figure8_rows` — total execution and communication time of
+  mesh/torus/generated networks normalized to the crossbar (Figure 8).
+* :func:`cross_workload_rows` — FFT and BT traces replayed on the
+  CG-generated network (Section 4.2's robustness paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.runner import BenchmarkSetup, prepare, run_cross_workload, run_performance
+from repro.floorplan.area import TORUS_LINK_FACTOR, measure_area
+from repro.simulator.config import SimConfig
+from repro.workloads.nas import BENCHMARK_NAMES, PAPER_LARGE_SIZE, PAPER_SMALL_SIZES
+
+
+def paper_sizes(size: str) -> Dict[str, int]:
+    """Benchmark name -> process count for "small" (8/9) or "large" (16)."""
+    if size == "small":
+        return dict(PAPER_SMALL_SIZES)
+    return {name: PAPER_LARGE_SIZE for name in BENCHMARK_NAMES}
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """One bar group of Figure 7: resources normalized to the mesh."""
+
+    benchmark: str
+    num_processes: int
+    generated_switch_ratio: float
+    generated_link_ratio: float
+    torus_switch_ratio: float = 1.0
+    torus_link_ratio: float = TORUS_LINK_FACTOR
+    num_switches: int = 0
+    num_links: int = 0
+
+
+def figure7_rows(size: str, seed: int = 0) -> List[Figure7Row]:
+    """Regenerate Figure 7(a) ("small") or 7(b) ("large")."""
+    rows = []
+    for name, n in paper_sizes(size).items():
+        setup = prepare(name, n, seed=seed)
+        report = measure_area(
+            setup.design.topology, seed=seed, floorplan=setup.floorplan
+        )
+        rows.append(
+            Figure7Row(
+                benchmark=setup.name,
+                num_processes=n,
+                generated_switch_ratio=report.switch_ratio,
+                generated_link_ratio=report.link_ratio,
+                num_switches=report.num_switches,
+                num_links=setup.design.num_links,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    """One bar group of Figure 8: times normalized to the crossbar."""
+
+    benchmark: str
+    num_processes: int
+    topology: str
+    execution_ratio: float
+    communication_ratio: float
+    execution_cycles: int
+    avg_comm_cycles: float
+    deadlocks: int
+
+
+def figure8_rows(
+    size: str, seed: int = 0, config: Optional[SimConfig] = None
+) -> List[Figure8Row]:
+    """Regenerate Figure 8(a) ("small") or 8(b) ("large")."""
+    rows = []
+    for name, n in paper_sizes(size).items():
+        setup = prepare(name, n, seed=seed)
+        results = run_performance(setup, config=config)
+        base = results["crossbar"]
+        for kind in ("crossbar", "mesh", "torus", "generated"):
+            r = results[kind]
+            rows.append(
+                Figure8Row(
+                    benchmark=setup.name,
+                    num_processes=n,
+                    topology=kind,
+                    execution_ratio=r.execution_cycles / base.execution_cycles,
+                    communication_ratio=(
+                        r.avg_comm_cycles / base.avg_comm_cycles
+                        if base.avg_comm_cycles
+                        else 1.0
+                    ),
+                    execution_cycles=r.execution_cycles,
+                    avg_comm_cycles=r.avg_comm_cycles,
+                    deadlocks=r.deadlocks_detected,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class CrossWorkloadRow:
+    """One row of the Section 4.2 robustness study."""
+
+    guest: str
+    network: str  # "own", "host" (CG network) or "mesh"
+    execution_cycles: int
+    degradation_vs_own: float
+
+
+def cross_workload_rows(
+    seed: int = 0, config: Optional[SimConfig] = None
+) -> List[CrossWorkloadRow]:
+    """FFT-16 and BT-16 replayed on the CG-16 generated network."""
+    host = prepare("cg", PAPER_LARGE_SIZE, seed=seed)
+    rows = []
+    for guest_name in ("fft", "bt"):
+        guest = prepare(guest_name, PAPER_LARGE_SIZE, seed=seed)
+        results = run_cross_workload(host, guest, config=config)
+        own = results["own"].execution_cycles
+        for network in ("own", "host", "mesh"):
+            cycles = results[network].execution_cycles
+            rows.append(
+                CrossWorkloadRow(
+                    guest=guest.name,
+                    network=network,
+                    execution_cycles=cycles,
+                    degradation_vs_own=cycles / own - 1.0,
+                )
+            )
+    return rows

@@ -1,0 +1,108 @@
+"""Energy model for evaluated networks (paper Section 5 future work).
+
+The paper's conclusion proposes extending the methodology toward
+power-efficient on-chip networks.  This module provides the standard
+first-order NoC energy accounting over a finished simulation:
+
+* **dynamic energy** — every flit-hop pays one switch traversal plus a
+  wire traversal proportional to the link's length in tiles;
+* **static energy** — switches and wire capacitance leak for the whole
+  execution, proportional to area (switch count + total link length).
+
+Absolute numbers use generic per-event picojoule constants; the useful
+output is the *relative* energy of two networks running the same
+program (the generated networks win on both terms: fewer switches to
+leak and shorter average paths to traverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.simulator.stats import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants (picojoules).
+
+    Defaults are representative early-2000s 0.18um-class figures; only
+    their ratios matter for topology comparisons.
+    """
+
+    switch_traversal_pj: float = 1.0
+    link_traversal_pj_per_tile: float = 0.5
+    switch_leakage_pj_per_cycle: float = 0.002
+    link_leakage_pj_per_cycle_per_tile: float = 0.001
+
+    def __post_init__(self) -> None:
+        for name in (
+            "switch_traversal_pj",
+            "link_traversal_pj_per_tile",
+            "switch_leakage_pj_per_cycle",
+            "link_leakage_pj_per_cycle_per_tile",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one simulation on one network."""
+
+    topology_name: str
+    dynamic_pj: float
+    static_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.static_pj
+
+
+def estimate_energy(
+    result: SimulationResult,
+    num_switches: int,
+    link_lengths: Optional[Mapping[int, int]] = None,
+    num_links: int = 0,
+    model: Optional[EnergyModel] = None,
+) -> EnergyReport:
+    """Estimate the energy of a finished simulation.
+
+    Args:
+        result: the simulation to account.
+        num_switches: switches in the simulated network.
+        link_lengths: link id -> length in tiles (from the floorplan);
+            missing links count as length 1.
+        num_links: total links (needed when ``link_lengths`` omits
+            some); defaults to ``len(link_lengths)``.
+        model: energy constants.
+    """
+    model = model or EnergyModel()
+    link_lengths = dict(link_lengths or {})
+    if num_links == 0:
+        num_links = len(link_lengths)
+    cycles = result.execution_cycles
+
+    # Dynamic: reconstruct per-channel flit counts from the utilization
+    # map (busy fraction x cycles = flits sent on that channel).
+    dynamic = 0.0
+    for cid, utilization in result.link_utilization.items():
+        flits = utilization * cycles
+        dynamic += flits * model.switch_traversal_pj
+        if cid[0] == "link":
+            length = max(1, link_lengths.get(cid[1], 1))
+            dynamic += flits * model.link_traversal_pj_per_tile * length
+
+    total_length = sum(max(1, link_lengths.get(i, 1)) for i in range(num_links)) if num_links else 0
+    if link_lengths:
+        total_length = sum(max(1, v) for v in link_lengths.values())
+    static = cycles * (
+        num_switches * model.switch_leakage_pj_per_cycle
+        + total_length * model.link_leakage_pj_per_cycle_per_tile
+    )
+    return EnergyReport(
+        topology_name=result.topology_name,
+        dynamic_pj=dynamic,
+        static_pj=static,
+    )

@@ -1,0 +1,74 @@
+"""ASCII tables in the shape of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.eval.experiments import CrossWorkloadRow, Figure7Row, Figure8Row
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def figure7_table(rows: List[Figure7Row], title: str) -> str:
+    """Resources normalized to the mesh (mesh = 1.00 by definition)."""
+    body = [
+        [
+            r.benchmark,
+            f"{r.generated_switch_ratio:.2f}",
+            f"{r.generated_link_ratio:.2f}",
+            f"{r.torus_switch_ratio:.2f}",
+            f"{r.torus_link_ratio:.2f}",
+            f"{r.num_switches}",
+            f"{r.num_links}",
+        ]
+        for r in rows
+    ]
+    headers = [
+        "benchmark",
+        "gen switch",
+        "gen link",
+        "torus switch",
+        "torus link",
+        "#sw",
+        "#links",
+    ]
+    return f"{title}\n" + _table(headers, body)
+
+
+def figure8_table(rows: List[Figure8Row], title: str) -> str:
+    """Execution/communication time normalized to the crossbar."""
+    body = [
+        [
+            r.benchmark,
+            r.topology,
+            f"{r.execution_ratio:.3f}",
+            f"{r.communication_ratio:.3f}",
+            f"{r.deadlocks}",
+        ]
+        for r in rows
+    ]
+    headers = ["benchmark", "topology", "exec/xbar", "comm/xbar", "deadlocks"]
+    return f"{title}\n" + _table(headers, body)
+
+
+def cross_workload_table(rows: List[CrossWorkloadRow], title: str) -> str:
+    body = [
+        [
+            r.guest,
+            r.network,
+            f"{r.execution_cycles}",
+            f"{100 * r.degradation_vs_own:+.1f}%",
+        ]
+        for r in rows
+    ]
+    headers = ["guest", "network", "exec cycles", "vs own net"]
+    return f"{title}\n" + _table(headers, body)

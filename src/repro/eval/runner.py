@@ -1,0 +1,123 @@
+"""Orchestration: benchmark -> synthesized design -> floorplan -> sims.
+
+Setups are cached per (benchmark, size, seed), since synthesis and
+placement dominate the cost of regenerating the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.floorplan.place import Floorplan, place
+from repro.simulator.config import SimConfig
+from repro.simulator.simulation import simulate
+from repro.simulator.stats import SimulationResult
+from repro.synthesis.generator import GeneratedDesign, generate_network
+from repro.topology.builders import Topology, crossbar, mesh_for, torus_for
+from repro.workloads.nas import Benchmark, benchmark
+
+# Topologies compared throughout the paper's evaluation.
+TOPOLOGY_ORDER = ("crossbar", "mesh", "torus", "generated")
+
+
+@dataclass
+class BenchmarkSetup:
+    """Everything needed to evaluate one benchmark configuration."""
+
+    benchmark: Benchmark
+    design: GeneratedDesign
+    floorplan: Floorplan
+    baselines: Dict[str, Topology]
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+    def topology(self, kind: str) -> Topology:
+        if kind == "generated":
+            return self.design.topology
+        return self.baselines[kind]
+
+    def link_delays(self, kind: str) -> Optional[Dict[int, int]]:
+        """Per-link delays: floorplan lengths for the generated network,
+        one cycle for mesh links, two for (folded) torus wraparounds."""
+        if kind == "generated":
+            return self.floorplan.link_delays()
+        if kind == "torus":
+            top = self.baselines["torus"]
+            delays = {}
+            for link in top.network.links:
+                (x1, y1) = top.coords[link.u]
+                (x2, y2) = top.coords[link.v]
+                wrap = abs(x1 - x2) > 1 or abs(y1 - y2) > 1
+                delays[link.link_id] = 2 if wrap else 1
+            return delays
+        return None
+
+
+@lru_cache(maxsize=None)
+def prepare(name: str, n: int, seed: int = 0, restarts: int = 8) -> BenchmarkSetup:
+    """Build (and cache) the full setup for one benchmark at size n."""
+    bench = benchmark(name, n)
+    design = generate_network(bench.pattern, seed=seed, restarts=restarts)
+    plan = place(design.network, seed=seed)
+    return BenchmarkSetup(
+        benchmark=bench,
+        design=design,
+        floorplan=plan,
+        baselines={
+            "crossbar": crossbar(n),
+            "mesh": mesh_for(n),
+            "torus": torus_for(n),
+        },
+    )
+
+
+def run_performance(
+    setup: BenchmarkSetup,
+    config: Optional[SimConfig] = None,
+    kinds: tuple = TOPOLOGY_ORDER,
+) -> Dict[str, SimulationResult]:
+    """Simulate the benchmark's program on each requested topology."""
+    config = config or SimConfig()
+    results = {}
+    for kind in kinds:
+        results[kind] = simulate(
+            setup.benchmark.program,
+            setup.topology(kind),
+            config,
+            link_delays=setup.link_delays(kind),
+        )
+    return results
+
+
+def run_cross_workload(
+    host_setup: BenchmarkSetup,
+    guest_setup: BenchmarkSetup,
+    config: Optional[SimConfig] = None,
+) -> Dict[str, SimulationResult]:
+    """Replay a guest benchmark on the host's generated network
+    (Section 4.2's robustness study).
+
+    Returns results for the guest on its own network, on the host's
+    network, and on the mesh baseline.
+    """
+    config = config or SimConfig()
+    program = guest_setup.benchmark.program
+    return {
+        "own": simulate(
+            program,
+            guest_setup.design.topology,
+            config,
+            link_delays=guest_setup.floorplan.link_delays(),
+        ),
+        "host": simulate(
+            program,
+            host_setup.design.topology,
+            config,
+            link_delays=host_setup.floorplan.link_delays(),
+        ),
+        "mesh": simulate(program, guest_setup.baselines["mesh"], config),
+    }

@@ -1,0 +1,27 @@
+"""Tile floorplanning and the switch/link area model (paper Section 4.1)."""
+
+from repro.floorplan.area import (
+    AreaReport,
+    LINK_AREA_UNIT,
+    SWITCH_AREA_UNIT,
+    TORUS_LINK_FACTOR,
+    measure_area,
+    mesh_areas,
+)
+from repro.floorplan.place import Floorplan, place
+from repro.floorplan.tiles import Cell, Corner, TileGrid, manhattan
+
+__all__ = [
+    "AreaReport",
+    "Cell",
+    "Corner",
+    "Floorplan",
+    "LINK_AREA_UNIT",
+    "SWITCH_AREA_UNIT",
+    "TORUS_LINK_FACTOR",
+    "TileGrid",
+    "manhattan",
+    "measure_area",
+    "mesh_areas",
+    "place",
+]

@@ -1,0 +1,108 @@
+"""Switch/link area accounting (paper Section 4.1, Figure 7).
+
+Every switch has five ports and consumes one unit of area regardless of
+topology; a link consumes area equal to the number of tiles it crosses
+(its endpoints' Manhattan corner distance).  Results are normalized to
+the mesh of the same size.  The torus needs the same switch area as the
+mesh and double the link area (the paper states this directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.floorplan.place import Floorplan, place
+from repro.topology.builders import Topology, grid_dims, mesh_for
+from repro.topology.network import Network
+
+# One 5-port switch = one area unit; a link crossing one tile = one unit.
+SWITCH_AREA_UNIT = 1.0
+LINK_AREA_UNIT = 1.0
+
+# Paper statement: torus = mesh switch area, 2x mesh link area.
+TORUS_LINK_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Absolute and mesh-normalized area of one placed network."""
+
+    name: str
+    num_switches: int
+    switch_area: float
+    link_area: float
+    mesh_switch_area: float
+    mesh_link_area: float
+    floorplan: Optional[Floorplan]
+
+    @property
+    def switch_ratio(self) -> float:
+        """Switch area relative to the mesh (1.0 = same as mesh)."""
+        return self.switch_area / self.mesh_switch_area
+
+    @property
+    def link_ratio(self) -> float:
+        """Link area relative to the mesh."""
+        return self.link_area / self.mesh_link_area
+
+    @property
+    def total_ratio(self) -> float:
+        """Combined area relative to the mesh."""
+        return (self.switch_area + self.link_area) / (
+            self.mesh_switch_area + self.mesh_link_area
+        )
+
+
+def mesh_areas(num_processors: int) -> tuple:
+    """(switch area, link area) of the reference mesh."""
+    mesh_top = mesh_for(num_processors)
+    return (
+        SWITCH_AREA_UNIT * mesh_top.network.num_switches,
+        LINK_AREA_UNIT * mesh_top.network.num_links,
+    )
+
+
+def measure_area(
+    topology: Topology,
+    seed: int = 0,
+    floorplan: Optional[Floorplan] = None,
+) -> AreaReport:
+    """Area of a topology, floorplanning it if needed.
+
+    Mesh and torus use their analytic areas (every link crosses one
+    tile; torus wraparounds double the link total); other topologies
+    are placed by the annealing floorplanner and measured.
+    """
+    net = topology.network
+    mesh_switch, mesh_link = mesh_areas(net.num_processors)
+    if topology.kind == "mesh":
+        return AreaReport(
+            name=topology.name,
+            num_switches=net.num_switches,
+            switch_area=mesh_switch,
+            link_area=mesh_link,
+            mesh_switch_area=mesh_switch,
+            mesh_link_area=mesh_link,
+            floorplan=None,
+        )
+    if topology.kind == "torus":
+        return AreaReport(
+            name=topology.name,
+            num_switches=net.num_switches,
+            switch_area=mesh_switch,
+            link_area=mesh_link * TORUS_LINK_FACTOR,
+            mesh_switch_area=mesh_switch,
+            mesh_link_area=mesh_link,
+            floorplan=None,
+        )
+    plan = floorplan if floorplan is not None else place(net, seed=seed)
+    return AreaReport(
+        name=topology.name,
+        num_switches=net.num_switches,
+        switch_area=SWITCH_AREA_UNIT * net.num_switches,
+        link_area=LINK_AREA_UNIT * plan.total_link_area,
+        mesh_switch_area=mesh_switch,
+        mesh_link_area=mesh_link,
+        floorplan=plan,
+    )

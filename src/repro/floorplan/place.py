@@ -1,0 +1,276 @@
+"""Simulated-annealing switch/tile placement.
+
+Jointly assigns switches to corner lattice points and processors to
+tiles (each tile touching its switch's corner), minimizing total link
+area.  Infeasible intermediate states are allowed during the search and
+priced with a large penalty; the returned floorplan reports whether the
+final state is feasible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.tiles import Cell, Corner, TileGrid, manhattan
+from repro.synthesis.annealing import AnnealSchedule, SimulatedAnnealing
+from repro.topology.network import Network
+
+# Each adjacency violation costs more than any single link could save.
+_PENALTY = 1000.0
+
+# Independent annealing restarts per placement call.
+_RESTARTS = 8
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A placed network.
+
+    Attributes:
+        grid: the tile grid.
+        switch_corner: switch id -> corner lattice point.
+        processor_cell: processor id -> tile cell.
+        link_costs: link id -> Manhattan tile distance of its endpoints.
+        feasible: every processor's tile touches its switch's corner and
+            no tile is shared.
+    """
+
+    grid: TileGrid
+    switch_corner: Dict[int, Corner]
+    processor_cell: Dict[int, Cell]
+    link_costs: Dict[int, int]
+    feasible: bool
+
+    @property
+    def total_link_area(self) -> int:
+        return sum(self.link_costs.values())
+
+    def link_delays(self) -> Dict[int, int]:
+        """Per-link cycle delays for the simulator (minimum one clock)."""
+        return {lid: max(1, cost) for lid, cost in self.link_costs.items()}
+
+    def render(self) -> str:
+        """ASCII sketch of the floorplan, Figure 6 style.
+
+        Tiles are drawn as a grid of processor ids; switch corner
+        positions are listed below (corner lattice coordinates), since
+        several switches can share a corner region.
+        """
+        width = max(3, max((len(str(p)) for p in self.processor_cell), default=1) + 1)
+        by_cell = {cell: proc for proc, cell in self.processor_cell.items()}
+        lines = []
+        for j in range(self.grid.height - 1, -1, -1):
+            row = []
+            for i in range(self.grid.width):
+                proc = by_cell.get((i, j))
+                row.append((f"P{proc}" if proc is not None else ".").rjust(width))
+            lines.append(" ".join(row))
+        lines.append("")
+        for s in sorted(self.switch_corner):
+            x, y = self.switch_corner[s]
+            lines.append(f"S{s} at corner ({x},{y})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Placement:
+    switch_corner: Dict[int, Corner]
+    processor_cell: Dict[int, Cell]
+
+
+def _violations(net: Network, grid: TileGrid, p: _Placement) -> int:
+    count = 0
+    for proc in range(net.num_processors):
+        corner = p.switch_corner[net.switch_of(proc)]
+        if not grid.touches(p.processor_cell[proc], corner):
+            count += 1
+    return count
+
+
+def _link_area(net: Network, p: _Placement) -> int:
+    return sum(
+        manhattan(p.switch_corner[link.u], p.switch_corner[link.v])
+        for link in net.links
+    )
+
+
+def place(
+    network: Network,
+    grid: Optional[TileGrid] = None,
+    seed: int = 0,
+    schedule: Optional[AnnealSchedule] = None,
+) -> Floorplan:
+    """Place a network on a tile grid, minimizing link area.
+
+    Raises :class:`FloorplanError` when the grid cannot hold the
+    processors; returns a (possibly infeasible) best-effort floorplan
+    otherwise — callers should check :attr:`Floorplan.feasible`.
+    """
+    network.validate()
+    if grid is None:
+        grid = _default_grid(network.num_processors)
+    if grid.num_cells < network.num_processors:
+        raise FloorplanError(
+            f"{grid.width}x{grid.height} grid cannot hold "
+            f"{network.num_processors} processors"
+        )
+    def energy(p: _Placement) -> float:
+        return _link_area(network, p) + _PENALTY * _violations(network, grid, p)
+
+    def neighbor(p: _Placement, move_rng: random.Random) -> _Placement:
+        q = _Placement(dict(p.switch_corner), dict(p.processor_cell))
+        roll = move_rng.random()
+        if roll < 0.35:
+            # Cluster move: relocate a switch together with its
+            # processors onto the tiles around a new corner, swapping
+            # cells with the displaced occupants.
+            s = move_rng.choice(sorted(q.switch_corner))
+            _move_cluster(network, grid, q, s, move_rng.choice(grid.corners()), move_rng)
+        elif roll < 0.6:
+            s = move_rng.choice(sorted(q.switch_corner))
+            q.switch_corner[s] = move_rng.choice(grid.corners())
+        elif roll < 0.9 and network.num_processors >= 2:
+            a, b = move_rng.sample(range(network.num_processors), 2)
+            q.processor_cell[a], q.processor_cell[b] = (
+                q.processor_cell[b],
+                q.processor_cell[a],
+            )
+        else:
+            proc = move_rng.randrange(network.num_processors)
+            used = set(q.processor_cell.values())
+            free = [c for c in grid.cells() if c not in used]
+            if free:
+                q.processor_cell[proc] = move_rng.choice(free)
+        return q
+
+    sched = schedule or AnnealSchedule(
+        initial_temperature=8.0, cooling=0.96, steps=5000
+    )
+    best: Optional[_Placement] = None
+    best_key = None
+    for restart in range(_RESTARTS):
+        rng = random.Random(seed * _RESTARTS + restart)
+        initial = _initial_placement(network, grid, rng)
+        sa = SimulatedAnnealing(
+            energy, neighbor, sched, seed=seed * _RESTARTS + restart
+        )
+        candidate, _ = sa.run(initial)
+        if _violations(network, grid, candidate) > 0:
+            # Local repair only when the annealer left violations; a
+            # feasible placement must not be perturbed.
+            _repair(network, grid, candidate)
+        key = (
+            _violations(network, grid, candidate),
+            _link_area(network, candidate),
+        )
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None  # _RESTARTS >= 1
+    link_costs = {
+        link.link_id: manhattan(
+            best.switch_corner[link.u], best.switch_corner[link.v]
+        )
+        for link in network.links
+    }
+    return Floorplan(
+        grid=grid,
+        switch_corner=dict(best.switch_corner),
+        processor_cell=dict(best.processor_cell),
+        link_costs=link_costs,
+        feasible=_violations(network, grid, best) == 0,
+    )
+
+
+def _move_cluster(
+    net: Network,
+    grid: TileGrid,
+    p: _Placement,
+    switch: int,
+    corner: Corner,
+    rng: random.Random,
+) -> None:
+    """Relocate a switch and its processors around ``corner``, swapping
+    cells with the current occupants."""
+    p.switch_corner[switch] = corner
+    target_cells = sorted(grid.corner_cells(corner))
+    rng.shuffle(target_cells)
+    cell_owner = {cell: proc for proc, cell in p.processor_cell.items()}
+    for proc, target in zip(sorted(net.processors_of(switch)), target_cells):
+        old_cell = p.processor_cell[proc]
+        if old_cell == target:
+            continue
+        other = cell_owner.get(target)
+        p.processor_cell[proc] = target
+        cell_owner[target] = proc
+        if other is not None and other != proc:
+            p.processor_cell[other] = old_cell
+            cell_owner[old_cell] = other
+        else:
+            del cell_owner[old_cell]
+
+
+def _default_grid(num_processors: int) -> TileGrid:
+    from repro.topology.builders import grid_dims
+
+    w, h = grid_dims(num_processors)
+    return TileGrid(width=w, height=h)
+
+
+def _initial_placement(net: Network, grid: TileGrid, rng: random.Random) -> _Placement:
+    """Cluster-aware start: place each switch's processors around it."""
+    cells = grid.cells()
+    rng.shuffle(cells)
+    proc_cell: Dict[int, Cell] = {}
+    switch_corner: Dict[int, Corner] = {}
+    free = list(cells)
+    for s in net.switches:
+        procs = sorted(net.processors_of(s))
+        if not procs:
+            switch_corner[s] = rng.choice(grid.corners())
+            continue
+        anchor = free[0] if free else rng.choice(grid.cells())
+        corner = (anchor[0] + 1 if anchor[0] + 1 <= grid.width else anchor[0], anchor[1] + 1 if anchor[1] + 1 <= grid.height else anchor[1])
+        switch_corner[s] = corner
+        nearby = sorted(free, key=lambda c: manhattan((c[0], c[1]), corner))
+        for proc, cell in zip(procs, nearby):
+            proc_cell[proc] = cell
+            free.remove(cell)
+    # Any processor still unplaced (more procs than nearby cells) takes
+    # whatever is left.
+    for proc in range(net.num_processors):
+        if proc not in proc_cell:
+            proc_cell[proc] = free.pop()
+    return _Placement(switch_corner=switch_corner, processor_cell=proc_cell)
+
+
+def _repair(net: Network, grid: TileGrid, p: _Placement) -> None:
+    """Greedy post-pass: move each switch to the corner minimizing its
+    violations, then swap offending processors toward their switches."""
+    for s in net.switches:
+        procs = sorted(net.processors_of(s))
+        if not procs:
+            continue
+        best_corner = p.switch_corner[s]
+        best_score = None
+        for corner in grid.corners():
+            touching = sum(
+                1 for proc in procs if grid.touches(p.processor_cell[proc], corner)
+            )
+            dist = sum(
+                manhattan(
+                    corner,
+                    (
+                        p.processor_cell[proc][0],
+                        p.processor_cell[proc][1],
+                    ),
+                )
+                for proc in procs
+            )
+            score = (-touching, dist)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_corner = corner
+        p.switch_corner[s] = best_corner

@@ -1,0 +1,76 @@
+"""Tile/corner geometry of the floorplan model (paper Section 4.1).
+
+The chip is a grid of processor tiles (à la MIT RAW).  Each tile
+reserves space at one corner for its switch; tiles may be rotated so
+that up to four tiles point their reserved corners into one shared
+region, letting several processors share a switch.  Geometrically:
+
+* tiles are unit cells ``(i, j)`` with ``0 <= i < width``,
+  ``0 <= j < height``;
+* switches sit on corner lattice points ``(x, y)`` with
+  ``0 <= x <= width``, ``0 <= y <= height``;
+* a processor's tile must touch its switch's corner (the four cells
+  around the corner), which also caps a switch at four processors;
+* a link's area is the Manhattan distance between its endpoints'
+  corners in tile units — co-located corners (shared region) cost 0,
+  mesh-neighbour corners cost 1, like the paper's Figure 6 examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import FloorplanError
+
+Cell = Tuple[int, int]
+Corner = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A ``width x height`` grid of processor tiles."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise FloorplanError(f"bad tile grid {self.width}x{self.height}")
+
+    @property
+    def num_cells(self) -> int:
+        return self.width * self.height
+
+    def cells(self) -> List[Cell]:
+        return [(i, j) for j in range(self.height) for i in range(self.width)]
+
+    def corners(self) -> List[Corner]:
+        return [
+            (x, y) for y in range(self.height + 1) for x in range(self.width + 1)
+        ]
+
+    def cell_corners(self, cell: Cell) -> FrozenSet[Corner]:
+        """The four lattice corners a tile touches."""
+        i, j = cell
+        if not (0 <= i < self.width and 0 <= j < self.height):
+            raise FloorplanError(f"cell {cell} outside the {self.width}x{self.height} grid")
+        return frozenset({(i, j), (i + 1, j), (i, j + 1), (i + 1, j + 1)})
+
+    def corner_cells(self, corner: Corner) -> FrozenSet[Cell]:
+        """The up-to-four tiles touching a corner."""
+        x, y = corner
+        cells = []
+        for i in (x - 1, x):
+            for j in (y - 1, y):
+                if 0 <= i < self.width and 0 <= j < self.height:
+                    cells.append((i, j))
+        return frozenset(cells)
+
+    def touches(self, cell: Cell, corner: Corner) -> bool:
+        return corner in self.cell_corners(cell)
+
+
+def manhattan(a: Corner, b: Corner) -> int:
+    """Link area between two switch corners, in tile units."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

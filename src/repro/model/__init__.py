@@ -1,0 +1,55 @@
+"""Contention model of the paper (Section 2): Definitions 1-7, Theorem 1."""
+
+from repro.model.cliques import (
+    CliqueAnalysis,
+    ContentionPeriod,
+    clique_set,
+    contention_periods,
+    describe_periods,
+    maximum_clique_set,
+    permutation_violations,
+)
+from repro.model.conflicts import (
+    network_resource_conflict_set,
+    shared_links,
+)
+from repro.model.contention import (
+    ContentionEvent,
+    contention_degree,
+    overlap_pairs,
+    potential_contention_set,
+)
+from repro.model.io import read_pattern, write_pattern
+from repro.model.message import Communication, Message
+from repro.model.pattern import CommunicationPattern
+from repro.model.theorem import (
+    ContentionCertificate,
+    ContentionViolation,
+    check_contention_free,
+    intersect_contention,
+)
+
+__all__ = [
+    "CliqueAnalysis",
+    "Communication",
+    "CommunicationPattern",
+    "ContentionCertificate",
+    "ContentionEvent",
+    "ContentionPeriod",
+    "ContentionViolation",
+    "Message",
+    "check_contention_free",
+    "clique_set",
+    "contention_degree",
+    "contention_periods",
+    "describe_periods",
+    "intersect_contention",
+    "maximum_clique_set",
+    "network_resource_conflict_set",
+    "overlap_pairs",
+    "permutation_violations",
+    "potential_contention_set",
+    "read_pattern",
+    "shared_links",
+    "write_pattern",
+]

@@ -1,0 +1,62 @@
+"""Path-conflict model (paper Definitions 6 and 7).
+
+The network resource conflict set ``R`` collects pairs of
+source-destination communications whose deterministic routing paths
+share at least one link.  This module is topology-agnostic: it only
+needs a function mapping each communication to the set of link
+resources its path occupies (the image of the source-based routing
+function ``F`` of Definition 6).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Dict, FrozenSet, Hashable, Iterable, List
+
+from repro.model.contention import ContentionEvent
+from repro.model.message import Communication
+
+# A link resource is any hashable token identifying one directed,
+# non-sharable channel (an inter-switch link direction, an injection
+# link, an ejection link, ...).
+LinkResource = Hashable
+
+# The spatial footprint of the routing function: comm -> set of links.
+RouteResources = Callable[[Communication], AbstractSet[LinkResource]]
+
+
+def network_resource_conflict_set(
+    route_resources: RouteResources,
+    communications: Iterable[Communication],
+) -> FrozenSet[ContentionEvent]:
+    """The network resource conflict set ``R`` (Definition 7).
+
+    Only the supplied communications are considered; for the
+    contention-freedom check of Theorem 1 it suffices to pass the
+    communications that actually occur in the pattern, since
+    ``C`` mentions no others.
+
+    Uses an inverted link->communications index so the cost is
+    proportional to the amount of actual sharing rather than to the
+    number of communication pairs.
+    """
+    comms = sorted(set(communications))
+    by_link: Dict[LinkResource, List[Communication]] = {}
+    for comm in comms:
+        for link in route_resources(comm):
+            by_link.setdefault(link, []).append(comm)
+    events = set()
+    for sharers in by_link.values():
+        for i, a in enumerate(sharers):
+            for b in sharers[i + 1 :]:
+                if a != b:
+                    events.add(ContentionEvent.of(a, b))
+    return frozenset(events)
+
+
+def shared_links(
+    route_resources: RouteResources,
+    a: Communication,
+    b: Communication,
+) -> FrozenSet[LinkResource]:
+    """Links two communications' paths have in common (the conflict witness)."""
+    return frozenset(route_resources(a)) & frozenset(route_resources(b))

@@ -1,0 +1,70 @@
+"""Pattern serialization.
+
+Communication patterns are the designer-facing artifact (extracted once
+from profiling, then reused across synthesis runs), so they round-trip
+through a simple JSON file format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import PatternError
+from repro.model.message import Message
+from repro.model.pattern import CommunicationPattern
+
+FORMAT_VERSION = 1
+
+
+def write_pattern(pattern: CommunicationPattern, path: Union[str, Path]) -> None:
+    """Write a pattern as a single JSON document."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "name": pattern.name,
+        "num_processes": pattern.num_processes,
+        "messages": [
+            {
+                "source": m.source,
+                "dest": m.dest,
+                "t_start": m.t_start,
+                "t_finish": m.t_finish,
+                "size_bytes": m.size_bytes,
+                "tag": m.tag,
+            }
+            for m in pattern.messages
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+
+
+def read_pattern(path: Union[str, Path]) -> CommunicationPattern:
+    """Read a pattern written by :func:`write_pattern`."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PatternError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT_VERSION:
+        raise PatternError(
+            f"{path} is not a version-{FORMAT_VERSION} pattern file"
+        )
+    try:
+        messages = tuple(
+            Message(
+                source=m["source"],
+                dest=m["dest"],
+                t_start=m["t_start"],
+                t_finish=m["t_finish"],
+                size_bytes=m.get("size_bytes", 1024),
+                tag=m.get("tag", ""),
+            )
+            for m in doc["messages"]
+        )
+        return CommunicationPattern(
+            messages=messages,
+            num_processes=doc["num_processes"],
+            name=doc.get("name", "pattern"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise PatternError(f"{path} has malformed message records: {exc}") from exc

@@ -1,0 +1,97 @@
+"""Messages and communications (paper Definition 2).
+
+A *communication* is a (source, destination) pair of processors.  A
+*message* is one concrete transfer for a communication, carrying the
+timing information used by the contention model: the time it leaves its
+source, ``t_start``, and the time it is completely absorbed by its
+destination, ``t_finish``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PatternError
+
+
+@dataclass(frozen=True, order=True)
+class Communication:
+    """A source-destination pair of processors.
+
+    Communications are the vertices of conflict graphs and the elements
+    of communication cliques.  They are ordered and hashable so they can
+    be stored in sets and sorted deterministically.
+    """
+
+    source: int
+    dest: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise PatternError(
+                f"processor ids must be non-negative, got ({self.source}, {self.dest})"
+            )
+        if self.source == self.dest:
+            raise PatternError(
+                f"communication source and destination must differ, got {self.source}"
+            )
+
+    @property
+    def reversed(self) -> "Communication":
+        """The communication going the opposite way."""
+        return Communication(self.dest, self.source)
+
+    def __str__(self) -> str:
+        return f"({self.source},{self.dest})"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message of a communication pattern (Definition 2).
+
+    Attributes:
+        source: processor id the message leaves from, ``S(m)``.
+        dest: processor id that absorbs the message, ``D(m)``.
+        t_start: time the message leaves its source, ``T_s(m)``.
+        t_finish: time the message is completely absorbed, ``T_f(m)``.
+        size_bytes: payload size; not used by the contention model but
+            carried through to trace-driven simulation.
+        tag: free-form label, typically the originating phase/library
+            call, useful when debugging extracted patterns.
+    """
+
+    source: int
+    dest: int
+    t_start: float
+    t_finish: float
+    size_bytes: int = 1024
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        # Communication() validates the endpoints.
+        Communication(self.source, self.dest)
+        if self.t_finish < self.t_start:
+            raise PatternError(
+                f"message finish time {self.t_finish} precedes start time {self.t_start}"
+            )
+        if self.size_bytes <= 0:
+            raise PatternError(f"message size must be positive, got {self.size_bytes}")
+
+    @property
+    def communication(self) -> Communication:
+        """The (source, dest) pair this message realizes."""
+        return Communication(self.source, self.dest)
+
+    @property
+    def duration(self) -> float:
+        """Length of the message's contention interval."""
+        return self.t_finish - self.t_start
+
+    def overlaps(self, other: "Message") -> bool:
+        """Whether two messages potentially collide in time (Definition 3).
+
+        The paper's overlap relation is the standard closed-interval
+        intersection test: the four disjuncts of Definition 3 are
+        equivalent to ``T_s(m1) <= T_f(m2) and T_s(m2) <= T_f(m1)``.
+        """
+        return self.t_start <= other.t_finish and other.t_start <= self.t_finish

@@ -1,0 +1,28 @@
+"""Trace-driven flit-level network simulator (the IRFlexSim substitute)."""
+
+from repro.simulator.config import PAPER_CONFIG, SimConfig
+from repro.simulator.engine import Engine
+from repro.simulator.fabric import Channel, InputVC, Nic, Router
+from repro.simulator.packet import Flit, Packet
+from repro.simulator.process import ProcessReplay
+from repro.simulator.routing import AdaptiveMinimal, BoundSourceRouted
+from repro.simulator.simulation import routing_policy_for, simulate
+from repro.simulator.stats import SimulationResult
+
+__all__ = [
+    "AdaptiveMinimal",
+    "BoundSourceRouted",
+    "Channel",
+    "Engine",
+    "Flit",
+    "InputVC",
+    "Nic",
+    "PAPER_CONFIG",
+    "Packet",
+    "ProcessReplay",
+    "Router",
+    "SimConfig",
+    "SimulationResult",
+    "routing_policy_for",
+    "simulate",
+]

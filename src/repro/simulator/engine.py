@@ -1,0 +1,361 @@
+"""Cycle-driven simulation engine.
+
+Models wormhole flit transport over the fabric of
+:mod:`repro.simulator.fabric`: per-cycle virtual-channel allocation,
+round-robin switch allocation (one flit per physical channel per
+cycle), credit-based flow control with delay-accurate credit return,
+and timeout-based deadlock detection with regressive recovery (killed
+packets drain and are retransmitted from the source — the paper's
+"detection and regressive recovery" discipline).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simulator.config import SimConfig
+from repro.simulator.fabric import Channel, InputVC, Nic, Router
+from repro.simulator.packet import ChannelId, Flit, Packet
+from repro.simulator.routing import SimRouting
+from repro.topology.builders import Topology
+
+# Heap event kinds.
+_FLIT = 0
+_CREDIT = 1
+
+DeliveryHandler = Callable[[int, int, int, int], None]  # (src, dst, seq, cycle)
+
+
+class Engine:
+    """The network fabric plus its event queue and progress tracking."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim_routing: SimRouting,
+        config: SimConfig,
+        link_delays: Optional[Dict[int, int]] = None,
+    ) -> None:
+        topology.network.validate()
+        self.topology = topology
+        self.network = topology.network
+        self.routing = sim_routing
+        self.config = config
+        self.channels: Dict[ChannelId, Channel] = {}
+        self.routers: Dict[int, Router] = {}
+        self.nics: Dict[int, Nic] = {}
+        self._build_fabric(link_delays or {})
+
+        self._heap: List[Tuple[int, int, int, tuple]] = []
+        self._heap_seq = 0
+        self._active_routers: set = set()
+        self._packets: Dict[int, Packet] = {}
+        self._next_packet_id = 0
+        self.flits_in_network = 0
+        self.last_progress = 0
+        self.deadlocks_detected = 0
+        self.retransmissions = 0
+        self.delivered_packets = 0
+        self.flit_hops = 0
+        self.packet_latencies: List[int] = []
+        self._delivery_handler: Optional[DeliveryHandler] = None
+        self._channel_busy_cycles: Dict[ChannelId, int] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def _build_fabric(self, link_delays: Dict[int, int]) -> None:
+        for s in self.network.switches:
+            self.routers[s] = Router(s, self.config)
+        for link in self.network.links:
+            delay = max(1, link_delays.get(link.link_id, 1))
+            fwd = Channel.build(
+                ("link", link.link_id, 0), ("router", link.u), ("router", link.v), delay, self.config
+            )
+            bwd = Channel.build(
+                ("link", link.link_id, 1), ("router", link.v), ("router", link.u), delay, self.config
+            )
+            self.channels[fwd.cid] = fwd
+            self.channels[bwd.cid] = bwd
+            self.routers[link.u].add_output(fwd.cid)
+            self.routers[link.v].add_input(fwd.cid)
+            self.routers[link.v].add_output(bwd.cid)
+            self.routers[link.u].add_input(bwd.cid)
+        for p in range(self.network.num_processors):
+            s = self.network.switch_of(p)
+            inj = Channel.build(("inj", p), ("nic", p), ("router", s), 1, self.config)
+            ej = Channel.build(("ej", p), ("router", s), ("nic", p), 1, self.config)
+            self.channels[inj.cid] = inj
+            self.channels[ej.cid] = ej
+            self.routers[s].add_input(inj.cid)
+            self.routers[s].add_output(ej.cid)
+            self.nics[p] = Nic(p, inj.cid)
+
+    def set_delivery_handler(self, handler: DeliveryHandler) -> None:
+        self._delivery_handler = handler
+
+    # -- packet submission ------------------------------------------------
+
+    def submit(self, source: int, dest: int, size_bytes: int, inject_cycle: int, seq: int) -> int:
+        """Queue a message for injection; returns the packet id."""
+        packet = Packet(
+            packet_id=self._next_packet_id,
+            source=source,
+            dest=dest,
+            size_bytes=size_bytes,
+            num_flits=self.config.flits_for(size_bytes),
+            seq=seq,
+            inject_cycle=inject_cycle,
+        )
+        self._next_packet_id += 1
+        self.routing.prepare(packet, self.network)
+        self._packets[packet.packet_id] = packet
+        self.nics[source].enqueue(packet)
+        return packet.packet_id
+
+    # -- scheduling helpers ----------------------------------------------
+
+    def _push(self, time: int, kind: int, payload: tuple) -> None:
+        heapq.heappush(self._heap, (time, self._heap_seq, kind, payload))
+        self._heap_seq += 1
+
+    def next_heap_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def next_inject_time(self, after: int) -> Optional[int]:
+        """Earliest queued inject time strictly greater than ``after``."""
+        times = [
+            c for nic in self.nics.values() for c in nic.pending_inject_cycles() if c > after
+        ]
+        return min(times) if times else None
+
+    def has_queued_packets(self) -> bool:
+        return any(nic.queue or nic.streaming for nic in self.nics.values())
+
+    def busy(self) -> bool:
+        """Whether any traffic exists anywhere in the engine."""
+        return bool(self._heap) or self.flits_in_network > 0 or self.has_queued_packets()
+
+    # -- the cycle --------------------------------------------------------
+
+    def step(self, t: int) -> bool:
+        """Simulate cycle ``t``; returns whether any flit moved."""
+        moved = False
+        moved |= self._deliver_events(t)
+        moved |= self._step_routers(t)
+        moved |= self._step_nics(t)
+        if moved:
+            self.last_progress = t
+        elif self.flits_in_network > 0 and t - self.last_progress >= self.config.deadlock_threshold:
+            self._recover_deadlock(t)
+        return moved
+
+    def _deliver_events(self, t: int) -> bool:
+        moved = False
+        while self._heap and self._heap[0][0] <= t:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time < t:
+                raise SimulationError(
+                    f"engine time skew: event at {time} processed at {t}"
+                )
+            if kind == _CREDIT:
+                cid, vc = payload
+                self.channels[cid].credits[vc] += 1
+                src_kind, src_id = self.channels[cid].src
+                if src_kind == "router":
+                    self._active_routers.add(src_id)
+            else:
+                cid, vc, flit = payload
+                channel = self.channels[cid]
+                dst_kind, dst_id = channel.dst
+                if dst_kind == "nic":
+                    # NICs are infinite sinks: consume immediately.
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                    if flit.is_tail and not flit.packet.killed:
+                        self._complete_delivery(flit.packet, t)
+                elif flit.packet.killed:
+                    # Drop killed flits on arrival, returning the credit.
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                else:
+                    self.routers[dst_id].accept(cid, vc, flit, channel.buffer_depth)
+                    self._active_routers.add(dst_id)
+        return moved
+
+    def _complete_delivery(self, packet: Packet, t: int) -> None:
+        packet.delivered = True
+        self.delivered_packets += 1
+        self.packet_latencies.append(t - packet.inject_cycle)
+        if self._delivery_handler is not None:
+            self._delivery_handler(packet.source, packet.dest, packet.seq, t)
+
+    def _step_routers(self, t: int) -> bool:
+        moved = False
+        for sid in sorted(self._active_routers):
+            router = self.routers[sid]
+            active = router.active_vcs()
+            if not active:
+                continue
+            # Phase 0: drop killed flits sitting at buffer fronts.
+            for cid, vc, ivc in active:
+                while ivc.buffer and ivc.buffer[0].packet.killed:
+                    ivc.buffer.popleft()
+                    self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+            active = [(cid, vc, ivc) for cid, vc, ivc in active if ivc.buffer]
+            # Phase 1: route + VC allocation for new head flits.
+            for cid, vc, ivc in active:
+                front = ivc.front
+                if front is None or not front.is_head:
+                    continue
+                if ivc.assignment is not None and ivc.assignment[0] == front.packet.packet_id:
+                    continue
+                candidates = self.routing.candidates(front.packet, sid)
+                if len(candidates) > 1:
+                    # Adaptive choice: prefer the least-congested output
+                    # channel (fewest allocated VCs), ties in candidate
+                    # order — deterministic congestion-aware TFAR.
+                    candidates = sorted(
+                        candidates,
+                        key=lambda c: self.channels[c].busy_vcs(),
+                    )
+                for out_cid in candidates:
+                    out_channel = self.channels[out_cid]
+                    out_vc = out_channel.free_vc()
+                    if out_vc is not None:
+                        out_channel.owner[out_vc] = front.packet.packet_id
+                        ivc.assignment = (front.packet.packet_id, out_cid, out_vc)
+                        break
+            # Phase 2: switch allocation, one flit per output channel.
+            requests: Dict[ChannelId, List[int]] = {}
+            for idx, (cid, vc, ivc) in enumerate(active):
+                front = ivc.front
+                if front is None or ivc.assignment is None:
+                    continue
+                pid, out_cid, out_vc = ivc.assignment
+                if pid != front.packet.packet_id:
+                    continue
+                if self.channels[out_cid].credits[out_vc] > 0:
+                    requests.setdefault(out_cid, []).append(idx)
+            for out_cid in sorted(requests):
+                winner_idx = router.arbitrate(out_cid, requests[out_cid])
+                cid, vc, ivc = active[winner_idx]
+                flit = ivc.buffer.popleft()
+                _, _, out_vc = ivc.assignment
+                out_channel = self.channels[out_cid]
+                out_channel.credits[out_vc] -= 1
+                self._push(t + out_channel.delay, _FLIT, (out_cid, out_vc, flit))
+                self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                self._channel_busy_cycles[out_cid] = (
+                    self._channel_busy_cycles.get(out_cid, 0) + 1
+                )
+                self.flit_hops += 1
+                moved = True
+                if flit.is_tail:
+                    ivc.assignment = None
+                    out_channel.owner[out_vc] = None
+            if not router.active_vcs():
+                self._active_routers.discard(sid)
+        return moved
+
+    def _step_nics(self, t: int) -> bool:
+        moved = False
+        for p in sorted(self.nics):
+            nic = self.nics[p]
+            channel = self.channels[nic.inject_channel]
+            if nic.streaming is None and nic.queue:
+                eligible = [pkt for pkt in nic.queue if pkt.inject_cycle <= t]
+                if eligible:
+                    pkt = min(eligible, key=lambda q: (q.inject_cycle, q.packet_id))
+                    vc = channel.free_vc()
+                    if vc is not None:
+                        channel.owner[vc] = pkt.packet_id
+                        nic.streaming = (pkt, vc)
+                        nic.queue.remove(pkt)
+            if nic.streaming is not None:
+                pkt, vc = nic.streaming
+                if channel.credits[vc] > 0:
+                    flit = Flit(pkt, pkt.flits_sent)
+                    channel.credits[vc] -= 1
+                    pkt.flits_sent += 1
+                    self._push(t + channel.delay, _FLIT, (nic.inject_channel, vc, flit))
+                    self._channel_busy_cycles[nic.inject_channel] = (
+                        self._channel_busy_cycles.get(nic.inject_channel, 0) + 1
+                    )
+                    self.flits_in_network += 1
+                    moved = True
+                    if flit.is_tail:
+                        nic.streaming = None
+                        channel.owner[vc] = None
+        return moved
+
+    # -- deadlock recovery -------------------------------------------------
+
+    def _recover_deadlock(self, t: int) -> None:
+        """Kill the youngest stuck packet and retransmit it (regressive
+        recovery)."""
+        stuck = [
+            pkt
+            for pkt in self._packets.values()
+            if not pkt.killed and not pkt.delivered and self._has_presence(pkt)
+        ]
+        if not stuck:
+            # Progress stalled with no killable packet: accounting bug.
+            raise SimulationError(
+                f"deadlock detected at cycle {t} but no packet is in flight"
+            )
+        victim = max(stuck, key=lambda pkt: (pkt.inject_cycle, pkt.packet_id))
+        victim.killed = True
+        self.deadlocks_detected += 1
+        # Release VC allocations held by the victim.
+        for router in self.routers.values():
+            for cid, vcs in router.inputs.items():
+                for vc, ivc in enumerate(vcs):
+                    if ivc.assignment is not None and ivc.assignment[0] == victim.packet_id:
+                        _, out_cid, out_vc = ivc.assignment
+                        self.channels[out_cid].owner[out_vc] = None
+                        ivc.assignment = None
+        nic = self.nics[victim.source]
+        held_vc = nic.abort_stream(victim.packet_id)
+        if held_vc is not None:
+            self.channels[nic.inject_channel].owner[held_vc] = None
+        # Flits still queued at the source that never left need no drain;
+        # flits in buffers/in flight drop via the killed flag.
+        replacement = Packet(
+            packet_id=self._next_packet_id,
+            source=victim.source,
+            dest=victim.dest,
+            size_bytes=victim.size_bytes,
+            num_flits=victim.num_flits,
+            seq=victim.seq,
+            inject_cycle=t + self.config.retransmit_backoff,
+        )
+        self._next_packet_id += 1
+        self.routing.prepare(replacement, self.network)
+        self._packets[replacement.packet_id] = replacement
+        nic.enqueue(replacement)
+        self.retransmissions += 1
+        self.last_progress = t
+        # Wake every router so killed flits drain promptly.
+        self._active_routers.update(self.routers)
+
+    def _has_presence(self, pkt: Packet) -> bool:
+        """Whether killing the packet could free network resources: it
+        has sent at least one flit and its tail has not yet delivered."""
+        return pkt.flits_sent > 0
+
+    # -- stats ---------------------------------------------------------------
+
+    def link_utilization(self, total_cycles: int) -> Dict[ChannelId, float]:
+        """Busy fraction per channel over ``total_cycles``."""
+        if total_cycles <= 0:
+            return {}
+        return {
+            cid: busy / total_cycles
+            for cid, busy in sorted(self._channel_busy_cycles.items())
+        }

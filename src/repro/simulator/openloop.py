@@ -1,0 +1,196 @@
+"""Open-loop synthetic traffic evaluation.
+
+Trace-driven replay (the paper's method) measures one application; the
+classic complement is open-loop injection — every node injects packets
+at a configurable rate toward destinations drawn from a synthetic
+pattern, and the network's latency-vs-offered-load curve locates its
+saturation point.  Useful here to quantify the trade-off the
+methodology makes: a generated network is provisioned for its target
+application's permutations, so under *uniform* random traffic it
+saturates earlier than the mesh whose resources it undercuts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Engine
+from repro.simulator.routing import SimRouting
+from repro.simulator.simulation import routing_policy_for
+from repro.topology.builders import Topology
+
+# dest = pattern(source, num_nodes, rng); returning the source resamples.
+DestinationPattern = Callable[[int, int, random.Random], int]
+
+
+def uniform_random(src: int, n: int, rng: random.Random) -> int:
+    """Every other node equally likely."""
+    dest = rng.randrange(n - 1)
+    return dest if dest < src else dest + 1
+
+
+def transpose_pattern(src: int, n: int, rng: random.Random) -> int:
+    """Bit-transpose destination on a square grid (self maps resample
+    to uniform)."""
+    side = int(n ** 0.5)
+    if side * side != n:
+        return uniform_random(src, n, rng)
+    dest = (src % side) * side + src // side
+    if dest == src:
+        return uniform_random(src, n, rng)
+    return dest
+
+
+def neighbor_pattern(src: int, n: int, rng: random.Random) -> int:
+    """Ring neighbour (+1)."""
+    return (src + 1) % n
+
+
+def hotspot_pattern(hotspot: int = 0, bias: float = 0.5) -> DestinationPattern:
+    """A fraction ``bias`` of traffic targets one node, rest uniform."""
+
+    def pattern(src: int, n: int, rng: random.Random) -> int:
+        if src != hotspot and rng.random() < bias:
+            return hotspot
+        return uniform_random(src, n, rng)
+
+    return pattern
+
+
+PATTERNS: Dict[str, DestinationPattern] = {
+    "uniform": uniform_random,
+    "transpose": transpose_pattern,
+    "neighbor": neighbor_pattern,
+}
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a latency/throughput curve.
+
+    Attributes:
+        offered_flits_per_node_cycle: injection rate requested.
+        accepted_flits_per_node_cycle: delivered payload rate measured
+            over the measurement window.
+        avg_latency: mean inject-to-delivery latency of packets injected
+            during the window.
+        delivered: packets delivered in the window.
+        saturated: the network could not absorb the offered load (its
+            backlog kept growing).
+    """
+
+    offered_flits_per_node_cycle: float
+    accepted_flits_per_node_cycle: float
+    avg_latency: float
+    delivered: int
+    saturated: bool
+
+
+def run_open_loop(
+    topology: Topology,
+    injection_rate: float,
+    pattern: DestinationPattern = uniform_random,
+    packet_bytes: int = 32,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    drain_cycles: int = 2000,
+    config: Optional[SimConfig] = None,
+    link_delays: Optional[Dict[int, int]] = None,
+    routing: Optional[SimRouting] = None,
+    seed: int = 0,
+) -> LoadPoint:
+    """Measure one offered-load point.
+
+    ``injection_rate`` is in flits per node per cycle; a packet is
+    injected whenever a node's flit debt reaches a packet's worth
+    (deterministic, seeded destination choice).
+    """
+    if injection_rate <= 0:
+        raise SimulationError(f"injection rate must be positive, got {injection_rate}")
+    config = config or SimConfig()
+    engine = Engine(
+        topology, routing or routing_policy_for(topology), config, link_delays
+    )
+    rng = random.Random(seed)
+    n = topology.network.num_processors
+    flits_per_packet = config.flits_for(packet_bytes)
+
+    inject_times: Dict[int, int] = {}
+    latencies: List[int] = []
+    delivered_in_window = 0
+
+    def on_delivery(src: int, dst: int, seq_: int, cycle: int) -> None:
+        nonlocal delivered_in_window
+        t0 = inject_times.pop((src, dst, seq_), None)
+        if t0 is not None and t0 >= warmup_cycles:
+            latencies.append(cycle - t0)
+            delivered_in_window += 1
+
+    engine.set_delivery_handler(on_delivery)
+    seqs: Dict[tuple, int] = {}
+    debt = [0.0] * n
+    horizon = warmup_cycles + measure_cycles
+
+    for t in range(horizon):
+        for node in range(n):
+            debt[node] += injection_rate
+            if debt[node] >= flits_per_packet:
+                debt[node] -= flits_per_packet
+                dest = pattern(node, n, rng)
+                if dest == node:
+                    continue
+                key = (node, dest)
+                seq = seqs.get(key, 0)
+                seqs[key] = seq + 1
+                engine.submit(
+                    source=node,
+                    dest=dest,
+                    size_bytes=packet_bytes,
+                    inject_cycle=t,
+                    seq=seq,
+                )
+                inject_times[(node, dest, seq)] = t
+        engine.step(t)
+
+    # Drain without new injections, bounded: a saturated network never
+    # fully drains its backlog in time.
+    t = horizon
+    while engine.busy() and t < horizon + drain_cycles:
+        engine.step(t)
+        t += 1
+    saturated = engine.busy()
+
+    payload_flits = flits_per_packet - 1
+    accepted = delivered_in_window * payload_flits / (measure_cycles * n)
+    return LoadPoint(
+        offered_flits_per_node_cycle=injection_rate,
+        accepted_flits_per_node_cycle=accepted,
+        avg_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        delivered=delivered_in_window,
+        saturated=saturated,
+    )
+
+
+def latency_throughput_curve(
+    topology: Topology,
+    rates: Sequence[float],
+    pattern: DestinationPattern = uniform_random,
+    **kwargs,
+) -> List[LoadPoint]:
+    """Sweep offered loads; stops early once the network saturates."""
+    points = []
+    for rate in rates:
+        point = run_open_loop(topology, rate, pattern=pattern, **kwargs)
+        points.append(point)
+        if point.saturated:
+            break
+    return points
+
+
+def saturation_throughput(points: Sequence[LoadPoint]) -> float:
+    """Highest accepted rate over a measured curve."""
+    return max((p.accepted_flits_per_node_cycle for p in points), default=0.0)

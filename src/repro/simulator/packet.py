@@ -1,0 +1,74 @@
+"""Packets and flits.
+
+A message is transported as a single wormhole packet: a header flit
+carrying the routing information followed by payload flits and a tail
+flit (for one-flit payloads the last payload flit is the tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+ChannelId = Tuple  # ("inj", p) | ("ej", p) | ("link", link_id, direction)
+
+
+@dataclass
+class Packet:
+    """One in-flight message instance.
+
+    Attributes:
+        packet_id: unique per injection attempt (retransmissions get a
+            fresh id).
+        source: source processor.
+        dest: destination processor.
+        size_bytes: payload size.
+        num_flits: header + payload flits.
+        seq: per (source, dest) sequence number, used by receive
+            matching so out-of-order arrivals cannot mis-match.
+        inject_cycle: when the packet entered the NIC queue.
+        route_hops: for source-routed networks, the ordered channel ids
+            the packet must traverse after injection (inter-switch hops
+            then the ejection channel).  ``None`` for per-hop adaptive
+            routing.
+        dest_switch: destination's switch, used by adaptive routing.
+        killed: set by regressive deadlock recovery; all of the packet's
+            flits drain and are discarded.
+    """
+
+    packet_id: int
+    source: int
+    dest: int
+    size_bytes: int
+    num_flits: int
+    seq: int
+    inject_cycle: int
+    route_hops: Optional[Tuple[ChannelId, ...]] = None
+    dest_switch: int = -1
+    killed: bool = False
+    delivered: bool = False
+    flits_sent: int = 0
+
+    @property
+    def all_flits_sent(self) -> bool:
+        return self.flits_sent >= self.num_flits
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of a packet."""
+
+    packet: Packet
+    index: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.num_flits - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({self.packet.packet_id}:{self.index}{kind})"

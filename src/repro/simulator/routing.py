@@ -1,0 +1,124 @@
+"""Routing policies of the flit-level simulator (paper Section 4.2).
+
+Three policies cover the paper's evaluation:
+
+* source routing (generated networks) — the packet carries its full hop
+  list, pinned to concrete links by the synthesizer's coloring;
+* dimension-order routing (mesh) — deterministic, realized by
+  precomputing the DOR path and source-routing it (observationally
+  identical for a deterministic function);
+* true fully-adaptive minimal routing (torus) — per-hop candidate sets
+  over all minimal directions and all VCs, with deadlock detection and
+  regressive recovery at the engine level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple
+
+from repro.errors import RoutingError
+from repro.model.message import Communication
+from repro.simulator.packet import ChannelId, Packet
+from repro.topology.builders import Topology
+from repro.topology.network import Network
+from repro.topology.routing import RoutingBase
+
+
+class SimRouting(Protocol):
+    """Per-hop routing interface used by the engine."""
+
+    def prepare(self, packet: Packet, network: Network) -> None:
+        """Attach routing state to a freshly injected packet."""
+
+    def candidates(self, packet: Packet, switch_id: int) -> List[ChannelId]:
+        """Ordered candidate output channels at a switch (possibly
+        including the ejection channel when the packet has arrived)."""
+
+
+class BoundSourceRouted:
+    """Source routing bound to a concrete network's link table."""
+
+    def __init__(self, routing: RoutingBase, network: Network) -> None:
+        self._routing = routing
+        self._network = network
+        self._hop_src: Dict[ChannelId, int] = {}
+        for link in network.links:
+            self._hop_src[("link", link.link_id, 0)] = link.u
+            self._hop_src[("link", link.link_id, 1)] = link.v
+
+    def prepare(self, packet: Packet, network: Network) -> None:
+        route = self._routing.route(Communication(packet.source, packet.dest))
+        packet.route_hops = tuple(route.hops) + (("ej", packet.dest),)
+        packet.dest_switch = network.switch_of(packet.dest)
+
+    def candidates(self, packet: Packet, switch_id: int) -> List[ChannelId]:
+        if packet.route_hops is None:
+            raise RoutingError(f"packet {packet.packet_id} was not prepared")
+        for hop in packet.route_hops:
+            if hop[0] == "link" and self._hop_src.get(hop) == switch_id:
+                return [hop]
+        if switch_id == packet.dest_switch:
+            return [("ej", packet.dest)]
+        raise RoutingError(
+            f"packet {packet.packet_id} ({packet.source}->{packet.dest}) "
+            f"stranded at S{switch_id}; route={packet.route_hops}"
+        )
+
+
+class AdaptiveMinimal:
+    """True fully-adaptive minimal routing on a grid (torus or mesh).
+
+    At each switch every minimal direction is a candidate, each over
+    every VC.  Candidate order is x-then-y so that deterministic
+    tie-breaks stay reproducible; the engine tries candidates in order
+    and takes the first with a free VC.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.coords is None or topology.grid_shape is None:
+            raise RoutingError("adaptive routing needs a grid topology")
+        self._network = topology.network
+        self._coords = topology.coords
+        self._width, self._height = topology.grid_shape
+        self._wrap = topology.kind == "torus"
+        # channel lookup: (from switch, to switch) -> channel ids
+        self._channels: Dict[Tuple[int, int], List[ChannelId]] = {}
+        for link in self._network.links:
+            self._channels.setdefault((link.u, link.v), []).append(("link", link.link_id, 0))
+            self._channels.setdefault((link.v, link.u), []).append(("link", link.link_id, 1))
+        self._by_coord = {xy: s for s, xy in self._coords.items()}
+
+    def prepare(self, packet: Packet, network: Network) -> None:
+        packet.route_hops = None
+        packet.dest_switch = network.switch_of(packet.dest)
+
+    def candidates(self, packet: Packet, switch_id: int) -> List[ChannelId]:
+        if switch_id == packet.dest_switch:
+            return [("ej", packet.dest)]
+        x, y = self._coords[switch_id]
+        dx, dy = self._coords[packet.dest_switch]
+        out: List[ChannelId] = []
+        for nx in self._minimal_steps(x, dx, self._width):
+            out.extend(self._channels.get((switch_id, self._by_coord[(nx, y)]), []))
+        for ny in self._minimal_steps(y, dy, self._height):
+            out.extend(self._channels.get((switch_id, self._by_coord[(x, ny)]), []))
+        if not out:
+            raise RoutingError(
+                f"no minimal step from S{switch_id} toward S{packet.dest_switch}"
+            )
+        return out
+
+    def _minimal_steps(self, frm: int, to: int, extent: int) -> List[int]:
+        """Neighbouring coordinates lying on a minimal path in this axis."""
+        if frm == to:
+            return []
+        if not self._wrap:
+            return [frm + 1] if to > frm else [frm - 1]
+        forward = (to - frm) % extent
+        backward = (frm - to) % extent
+        steps = []
+        if forward <= backward:
+            steps.append((frm + 1) % extent)
+        if backward <= forward:
+            steps.append((frm - 1) % extent)
+        return steps

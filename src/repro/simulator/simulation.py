@@ -1,0 +1,121 @@
+"""Top-level trace-driven simulation (paper Section 4.2).
+
+``simulate`` replays a program on a topology, choosing the routing
+policy the paper uses for that network class: source routing for
+generated (and crossbar) networks, dimension-order for meshes, true
+fully-adaptive for tori.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.config import SimConfig
+from repro.simulator.engine import Engine
+from repro.simulator.process import ProcessReplay
+from repro.simulator.routing import AdaptiveMinimal, BoundSourceRouted, SimRouting
+from repro.simulator.stats import SimulationResult
+from repro.topology.builders import Topology
+from repro.workloads.events import Program
+
+
+def routing_policy_for(topology: Topology) -> SimRouting:
+    """The paper's routing policy for each topology class.
+
+    Mesh: dimension-order (deterministic, realized as source routing of
+    the DOR path).  Torus: true fully-adaptive minimal routing.
+    Crossbar and generated networks: source routing.
+    """
+    if topology.kind == "torus":
+        return AdaptiveMinimal(topology)
+    return BoundSourceRouted(topology.routing, topology.network)
+
+
+def simulate(
+    program: Program,
+    topology: Topology,
+    config: Optional[SimConfig] = None,
+    link_delays: Optional[Dict[int, int]] = None,
+    routing: Optional[SimRouting] = None,
+) -> SimulationResult:
+    """Replay ``program`` on ``topology`` and collect statistics.
+
+    Args:
+        program: per-process event streams to replay.
+        topology: the network to simulate.
+        config: simulation parameters (defaults to the paper's).
+        link_delays: optional cycles-per-link map (from the floorplan's
+            link lengths); missing links default to one cycle.
+        routing: override the routing policy (defaults to the paper's
+            choice for the topology kind).
+
+    Raises:
+        SimulationError: on unmatched receives (the program blocks
+            forever) or when ``config.max_cycles`` is exceeded.
+    """
+    config = config or SimConfig()
+    engine = Engine(
+        topology,
+        routing or routing_policy_for(topology),
+        config,
+        link_delays=link_delays,
+    )
+    replay = ProcessReplay(program, engine, config)
+
+    t = 0
+    replay.run_ready()
+    while not replay.all_done() or engine.busy():
+        if t > config.max_cycles:
+            raise SimulationError(
+                f"simulation exceeded {config.max_cycles} cycles "
+                f"({program.name} on {topology.name}); likely livelock"
+            )
+        moved = engine.step(t)
+        if moved:
+            replay.run_ready()
+        if not moved:
+            t = _advance(engine, replay, t)
+        else:
+            t += 1
+
+    return SimulationResult(
+        topology_name=topology.name,
+        program_name=program.name,
+        execution_cycles=replay.execution_cycles(),
+        comm_cycles_per_process=tuple(replay.communication_cycles()),
+        delivered_packets=engine.delivered_packets,
+        deadlocks_detected=engine.deadlocks_detected,
+        retransmissions=engine.retransmissions,
+        flit_hops=engine.flit_hops,
+        link_utilization=engine.link_utilization(max(1, replay.execution_cycles())),
+        config=config,
+        packet_latencies=tuple(engine.packet_latencies),
+    )
+
+
+def _advance(engine: Engine, replay: ProcessReplay, t: int) -> int:
+    """Pick the next cycle when nothing moved at ``t``.
+
+    Jump to the earliest future event (flit/credit arrival or packet
+    inject time).  If no event is pending but flits sit stalled in the
+    network, jump straight to the deadlock-detection horizon.  If the
+    engine is completely empty yet processes still block, the program
+    has unmatched receives — a workload bug worth a precise error.
+    """
+    candidates = []
+    heap_next = engine.next_heap_time()
+    if heap_next is not None:
+        candidates.append(heap_next)
+    inject_next = engine.next_inject_time(t)
+    if inject_next is not None:
+        candidates.append(inject_next)
+    if candidates:
+        return max(t + 1, min(candidates))
+    if engine.flits_in_network > 0:
+        return max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+    if replay.anyone_blocked():
+        raise SimulationError(
+            "simulation stuck with an idle network: " + replay.blocked_summary()
+        )
+    return t + 1

@@ -1,0 +1,84 @@
+"""Simulation results and derived statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.simulator.config import SimConfig
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one trace-driven simulation.
+
+    Attributes:
+        topology_name: label of the simulated network.
+        program_name: label of the replayed program.
+        execution_cycles: completion time of the slowest process — the
+            paper's "total execution time".
+        comm_cycles_per_process: per-process communication time (send +
+            receive overheads + receive waiting).
+        delivered_packets: messages whose tail flit reached its NIC.
+        deadlocks_detected: regressive-recovery activations.
+        retransmissions: packets re-injected after being killed.
+        flit_hops: total flit-link traversals (network work).
+        link_utilization: busy fraction per channel.
+        config: the simulation configuration used.
+    """
+
+    topology_name: str
+    program_name: str
+    execution_cycles: int
+    comm_cycles_per_process: Tuple[int, ...]
+    delivered_packets: int
+    deadlocks_detected: int
+    retransmissions: int
+    flit_hops: int
+    link_utilization: Dict[tuple, float]
+    config: SimConfig
+    packet_latencies: Tuple[int, ...] = ()
+
+    @property
+    def avg_comm_cycles(self) -> float:
+        """Mean per-process communication time."""
+        if not self.comm_cycles_per_process:
+            return 0.0
+        return sum(self.comm_cycles_per_process) / len(self.comm_cycles_per_process)
+
+    @property
+    def max_comm_cycles(self) -> int:
+        return max(self.comm_cycles_per_process, default=0)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Average communication time over execution time."""
+        if self.execution_cycles == 0:
+            return 0.0
+        return self.avg_comm_cycles / self.execution_cycles
+
+    @property
+    def execution_us(self) -> float:
+        return self.config.cycles_to_us(self.execution_cycles)
+
+    @property
+    def avg_packet_latency(self) -> float:
+        """Mean inject-to-delivery latency over delivered packets."""
+        if not self.packet_latencies:
+            return 0.0
+        return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    @property
+    def max_packet_latency(self) -> int:
+        return max(self.packet_latencies, default=0)
+
+    def summary(self) -> str:
+        """One-line report used by examples and benches."""
+        return (
+            f"{self.program_name} on {self.topology_name}: "
+            f"{self.execution_cycles} cycles "
+            f"({self.execution_us:.1f} us), comm {self.avg_comm_cycles:.0f} cycles "
+            f"({100 * self.comm_fraction:.0f}%), "
+            f"{self.delivered_packets} messages, "
+            f"{self.deadlocks_detected} deadlocks"
+        )

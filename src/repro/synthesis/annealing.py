@@ -1,0 +1,88 @@
+"""A small, generic simulated-annealing engine.
+
+The paper applies "a simulated annealing technique" to both the
+partitioning moves and (in our reproduction) the floorplan placement.
+The deterministic hill-climbing variants in :mod:`repro.synthesis.moves`
+and :mod:`repro.synthesis.best_route` are what the Appendix pseudo-code
+specifies; this engine provides the temperature-driven variant used by
+the floorplanner and by the ``anneal=True`` extension of the
+partitioner ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, Tuple, TypeVar
+
+State = TypeVar("State")
+
+
+@dataclass(frozen=True)
+class AnnealSchedule:
+    """Geometric cooling schedule.
+
+    Attributes:
+        initial_temperature: starting temperature (in objective units).
+        cooling: multiplicative factor per step, in (0, 1).
+        steps: total number of proposed moves.
+        moves_per_temperature: proposals evaluated before cooling.
+    """
+
+    initial_temperature: float = 10.0
+    cooling: float = 0.95
+    steps: int = 2000
+    moves_per_temperature: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError(f"cooling must be in (0, 1), got {self.cooling}")
+        if self.initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        if self.steps < 1 or self.moves_per_temperature < 1:
+            raise ValueError("steps and moves_per_temperature must be positive")
+
+
+class SimulatedAnnealing(Generic[State]):
+    """Minimize ``energy`` over states connected by ``neighbor`` moves.
+
+    ``neighbor(state, rng)`` must return a *new* state (it must not
+    mutate its argument); the best state ever visited is returned, so a
+    pessimal final temperature cannot lose the incumbent.
+    """
+
+    def __init__(
+        self,
+        energy: Callable[[State], float],
+        neighbor: Callable[[State, random.Random], State],
+        schedule: Optional[AnnealSchedule] = None,
+        seed: int = 0,
+    ) -> None:
+        self._energy = energy
+        self._neighbor = neighbor
+        self._schedule = schedule or AnnealSchedule()
+        self._rng = random.Random(seed)
+
+    def run(self, initial: State) -> Tuple[State, float]:
+        """Anneal from ``initial``; returns ``(best state, best energy)``."""
+        sched = self._schedule
+        current = initial
+        current_e = self._energy(current)
+        best, best_e = current, current_e
+        temperature = sched.initial_temperature
+        for step in range(sched.steps):
+            candidate = self._neighbor(current, self._rng)
+            cand_e = self._energy(candidate)
+            if cand_e <= current_e or self._accept_worse(cand_e - current_e, temperature):
+                current, current_e = candidate, cand_e
+                if current_e < best_e:
+                    best, best_e = current, current_e
+            if (step + 1) % sched.moves_per_temperature == 0:
+                temperature *= sched.cooling
+        return best, best_e
+
+    def _accept_worse(self, delta: float, temperature: float) -> bool:
+        if temperature <= 0:
+            return False
+        return self._rng.random() < math.exp(-delta / temperature)

@@ -1,0 +1,106 @@
+"""The ``Best_Route`` procedure (paper Section 3.2 and Appendix).
+
+After a switch ``S_i`` is partitioned into ``S_i`` and ``S_j``, each
+communication crossing a pipe ``P(i,k)`` may instead take the indirect
+route through the sibling (``S_i -> S_j -> S_k``), and communications
+already detouring may return to the direct route.  Moves are committed
+greedily whenever they decrease the total estimated number of links of
+the affected pipes, and passes repeat until no move improves (hill
+climbing over routing assignments, the deterministic core of the
+paper's annealing step).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.model.message import Communication
+from repro.synthesis.state import SynthesisState, normalize_path
+
+# Safety valve: each commit strictly decreases the integer total link
+# estimate, so termination is guaranteed; the cap only guards against
+# estimator bugs.
+_MAX_PASSES = 50
+
+
+def best_route(state: SynthesisState, si: int, sj: int) -> int:
+    """Optimize routes around a freshly split pair of switches.
+
+    Returns the number of route moves committed.  Only detours through
+    the sibling pair are considered, exactly as in Figure 4: a hop
+    ``(si, k)`` may become ``(si, sj, k)`` and vice versa (and the same
+    with the roles of ``si`` and ``sj`` swapped).
+    """
+    committed = 0
+    for _ in range(_MAX_PASSES):
+        moved = _one_pass(state, si, sj) + _one_pass(state, sj, si)
+        committed += moved
+        if moved == 0:
+            break
+    return committed
+
+
+def _one_pass(state: SynthesisState, si: int, sj: int) -> int:
+    """One sweep of Appendix ``Best_Route(S_i, S_j)``."""
+    moves = 0
+    for sk in state.pipes_of(si):
+        if sk == sj:
+            continue
+        # Candidates: every communication using the direct hop si<->sk
+        # (try detour via sj), plus every one using si->sj->sk or
+        # sk->sj->si (try the direct hop back).
+        for comm in sorted(state.pipe_forward(si, sk) | state.pipe_forward(sk, si)):
+            if _try_reroute(state, comm, _detour(state.route_of(comm), si, sj, sk)):
+                moves += 1
+        for comm in sorted(state.pipe_forward(si, sj) | state.pipe_forward(sj, si)):
+            if _try_reroute(state, comm, _undetour(state.route_of(comm), si, sj, sk)):
+                moves += 1
+    return moves
+
+
+def _detour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ...]:
+    """Insert ``sj`` into a direct ``si-sk`` hop (either direction)."""
+    if sj in path:
+        return path
+    out: List[int] = []
+    for idx, s in enumerate(path):
+        out.append(s)
+        if idx + 1 < len(path):
+            nxt = path[idx + 1]
+            if (s, nxt) in ((si, sk), (sk, si)):
+                out.append(sj)
+    return normalize_path(out)
+
+
+def _undetour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ...]:
+    """Remove ``sj`` from an ``si-sj-sk`` detour (either orientation)."""
+    out: List[int] = []
+    n = len(path)
+    idx = 0
+    while idx < n:
+        s = path[idx]
+        if (
+            0 < idx < n - 1
+            and s == sj
+            and (path[idx - 1], path[idx + 1]) in ((si, sk), (sk, si))
+        ):
+            idx += 1
+            continue
+        out.append(s)
+        idx += 1
+    return normalize_path(out)
+
+
+def _try_reroute(state: SynthesisState, comm: Communication, new_path: Tuple[int, ...]) -> bool:
+    """Commit a candidate path iff it strictly lowers the link estimate."""
+    old_path = state.route_of(comm)
+    if new_path == old_path:
+        return False
+    affected = set(old_path) | set(new_path)
+    before = state.local_links(affected)
+    state.set_route(comm, new_path)
+    after = state.local_links(affected)
+    if after < before:
+        return True
+    state.set_route(comm, old_path)
+    return False

@@ -1,0 +1,43 @@
+"""Conflict graphs of pipe communication sets (paper Section 3.1).
+
+The conflict graph of the set of communications crossing a pipe in one
+direction has a vertex per communication and an edge between every pair
+that potentially contends in time (i.e. that co-occurs in some
+communication clique).  Coloring it yields the links that direction
+needs; the pipe's width is the larger of the two directions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
+
+from repro.model.cliques import Clique
+from repro.model.message import Communication
+
+ConflictGraph = Dict[Communication, Set[Communication]]
+
+
+def build_conflict_graph(
+    comms: Iterable[Communication],
+    max_cliques: Sequence[Clique],
+) -> ConflictGraph:
+    """Conflict graph restricted to ``comms``.
+
+    Edges join communications that appear together in at least one
+    clique of the communication maximum clique set (they overlap in
+    time, so routing them over the same link would create contention).
+    """
+    members = set(comms)
+    adj: ConflictGraph = {c: set() for c in members}
+    for clique in max_cliques:
+        present = sorted(clique & members)
+        for i, a in enumerate(present):
+            for b in present[i + 1 :]:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+def conflict_edge_count(adj: ConflictGraph) -> int:
+    """Number of undirected edges in a conflict graph."""
+    return sum(len(nbrs) for nbrs in adj.values()) // 2

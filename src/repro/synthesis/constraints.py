@@ -1,0 +1,91 @@
+"""Design constraints for the partitioning algorithm (paper Section 3.4).
+
+The paper's running constraint is *maximum node degree*: each switch's
+port count (attached processors + links) must not exceed a constant —
+five in the evaluation, matching mesh/torus switches.  The constraint
+interface also supports limits on pipe width and processors per switch,
+which are natural additional SoC design constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConstraintError
+from repro.synthesis.state import SynthesisState
+
+# Matches the 5-port switches assumed throughout the paper's evaluation.
+PAPER_MAX_DEGREE = 5
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Limits every switch of the final network must satisfy.
+
+    Attributes:
+        max_degree: maximum switch port count (processor ports plus one
+            port per link).  The paper's evaluation uses 5.
+        max_pipe_width: optional cap on parallel links between a switch
+            pair.
+        max_processors_per_switch: optional cap on direct attachments.
+    """
+
+    max_degree: int = PAPER_MAX_DEGREE
+    max_pipe_width: Optional[int] = None
+    max_processors_per_switch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 2:
+            raise ConstraintError(
+                f"max_degree must be at least 2, got {self.max_degree}"
+            )
+        if self.max_pipe_width is not None and self.max_pipe_width < 1:
+            raise ConstraintError("max_pipe_width must be positive when set")
+        if (
+            self.max_processors_per_switch is not None
+            and self.max_processors_per_switch < 1
+        ):
+            raise ConstraintError("max_processors_per_switch must be positive when set")
+
+    def satisfied_by(self, state: SynthesisState, switch: int) -> bool:
+        """Whether one switch meets the constraints under link estimates."""
+        if state.estimated_degree(switch) > self.max_degree:
+            return False
+        n_procs = len(state.switch_procs[switch])
+        if (
+            self.max_processors_per_switch is not None
+            and n_procs > self.max_processors_per_switch
+        ):
+            return False
+        if self.max_pipe_width is not None:
+            for other in state.pipes_of(switch):
+                if state.pipe_estimate(switch, other) > self.max_pipe_width:
+                    return False
+        return True
+
+    def violators(self, state: SynthesisState) -> Tuple[int, ...]:
+        """Switches violating the constraints, in id order."""
+        return tuple(
+            s for s in state.switches if not self.satisfied_by(state, s)
+        )
+
+    def check_feasible(self, num_processors: int) -> None:
+        """Reject constraint sets no network could ever satisfy.
+
+        A switch must host at least one processor and keep at least one
+        port for connectivity whenever the system has several switches.
+        """
+        if num_processors > 1 and self.max_degree < 2:
+            raise ConstraintError(
+                "max_degree < 2 cannot connect more than one processor"
+            )
+        if (
+            self.max_processors_per_switch is not None
+            and self.max_processors_per_switch >= self.max_degree
+            and num_processors > self.max_degree
+        ):
+            raise ConstraintError(
+                "max_processors_per_switch leaves no ports for links; "
+                "the switch graph could never be connected"
+            )

@@ -1,0 +1,62 @@
+"""The ``Fast_Color`` procedure (paper Section 3.3 and Appendix).
+
+Solving graph coloring exactly for every candidate partition would
+dominate the methodology's cost, so during partitioning the number of
+links a pipe needs is *estimated* with a clique-based lower bound:
+communications common to the pipe and to one communication clique form
+a clique of the conflict graph, so the largest such intersection lower
+bounds the chromatic number.  The paper reports (and our ablation
+benchmark confirms) that the bound is almost always exact on the pipes
+the methodology encounters.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence
+
+from repro.model.cliques import Clique
+from repro.model.message import Communication
+
+
+def fast_color(
+    forward: AbstractSet[Communication],
+    backward: AbstractSet[Communication],
+    max_cliques: Sequence[Clique],
+) -> int:
+    """Estimate the links a pipe needs (the Appendix ``Fast_Color``).
+
+    Args:
+        forward: communications crossing the pipe in its forward
+            direction (``C_f``).
+        backward: communications crossing in the backward direction
+            (``C_b``).
+        max_cliques: the communication maximum clique set of the target
+            pattern.
+
+    Returns:
+        ``max_K max(|K ∩ C_f|, |K ∩ C_b|)`` — a lower bound on the
+        number of full-duplex links required for contention freedom.
+        Empty pipes need zero links.
+    """
+    best = 0
+    for clique in max_cliques:
+        f = len(clique & forward)
+        if f > best:
+            best = f
+        b = len(clique & backward)
+        if b > best:
+            best = b
+    return best
+
+
+def fast_color_directional(
+    comms: AbstractSet[Communication],
+    max_cliques: Sequence[Clique],
+) -> int:
+    """The one-direction bound: ``max_K |K ∩ comms|``."""
+    best = 0
+    for clique in max_cliques:
+        n = len(clique & comms)
+        if n > best:
+            best = n
+    return best

@@ -1,0 +1,278 @@
+"""Facade: from communication pattern to generated network.
+
+``generate_network`` runs the clique analysis, executes the main
+partitioning algorithm (with multi-seed restarts, since the initial
+halving is random), materializes the best result as a concrete
+:class:`~repro.topology.network.Network` with parallel links sized by
+exact coloring, installs per-communication source routes pinned to
+specific links, and checks Theorem 1 on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.model.cliques import CliqueAnalysis, permutation_violations
+from repro.model.message import Communication
+from repro.model.pattern import CommunicationPattern
+from repro.model.theorem import ContentionCertificate, check_contention_free
+from repro.synthesis.constraints import DesignConstraints
+from repro.synthesis.partition import PartitionResult, Partitioner
+from repro.topology.builders import Topology
+from repro.topology.network import Network
+from repro.topology.routing import (
+    Route,
+    RoutingBase,
+    ShortestPathRouting,
+    TableRouting,
+    make_route,
+)
+
+
+@dataclass
+class GeneratedDesign:
+    """A synthesized network and everything needed to use it.
+
+    Attributes:
+        topology: the generated network wrapped as a
+            :class:`~repro.topology.builders.Topology` whose routing is
+            the synthesized source-routing table (with shortest-path
+            fallback for communications outside the target pattern).
+        pattern: the communication pattern the network was designed for.
+        analysis: the clique analysis of that pattern.
+        result: the raw partitioning result (state, pipe widths, stats).
+        certificate: Theorem 1 check of the pattern on this network.
+        switch_map: synthesis switch id -> network switch id.
+        pipe_links: pipe (network switch pair) -> link ids in color order.
+        seed: the restart seed that produced this design.
+    """
+
+    topology: Topology
+    pattern: CommunicationPattern
+    analysis: CliqueAnalysis
+    result: PartitionResult
+    certificate: ContentionCertificate
+    switch_map: Dict[int, int]
+    pipe_links: Dict[FrozenSet[int], Tuple[int, ...]]
+    seed: int
+
+    @property
+    def network(self) -> Network:
+        return self.topology.network
+
+    @property
+    def num_switches(self) -> int:
+        return self.network.num_switches
+
+    @property
+    def num_links(self) -> int:
+        return self.network.num_links
+
+    def routing_for(self, pattern: CommunicationPattern) -> RoutingBase:
+        """Routing covering an arbitrary pattern on this network.
+
+        Communications the network was designed for keep their
+        synthesized routes; any others (e.g. when replaying a different
+        benchmark's trace, Section 4.2's cross-workload study) fall back
+        to deterministic shortest paths.
+        """
+        return self.topology.routing
+
+
+class FallbackRouting(RoutingBase):
+    """Synthesized table routes with shortest-path fallback."""
+
+    def __init__(self, table: TableRouting, network: Network) -> None:
+        self._table = table
+        self._fallback = ShortestPathRouting(network)
+
+    def route(self, comm: Communication) -> Route:
+        if self._table.has_route(comm):
+            return self._table.route(comm)
+        return self._fallback.route(comm)
+
+    @property
+    def table(self) -> TableRouting:
+        return self._table
+
+
+def generate_network(
+    pattern: CommunicationPattern,
+    constraints: Optional[DesignConstraints] = None,
+    seed: int = 0,
+    restarts: int = 16,
+    reroute: bool = True,
+    moves: bool = True,
+) -> GeneratedDesign:
+    """Run the full design methodology on a communication pattern.
+
+    Args:
+        pattern: the target application's communication pattern.
+        constraints: design constraints (default: max node degree 5, as
+            in the paper's evaluation).
+        seed: base RNG seed; restart ``i`` uses ``seed + i``.
+        restarts: how many independent runs to take the best of.  The
+            initial halving and violator selection are random, so
+            restarts play the role of the annealing schedule's
+            temperature restarts.
+        reroute: enable the global route optimizer (ablation knob).
+        moves: enable inter-partition processor moves (ablation knob).
+
+    Returns:
+        The best design found, by (total links, switch count).
+    """
+    if restarts < 1:
+        raise SynthesisError(f"need at least one restart, got {restarts}")
+    constraints = constraints or DesignConstraints()
+    analysis = CliqueAnalysis.of(pattern)
+    violations = permutation_violations(analysis.max_cliques)
+    if violations:
+        clique, reason = violations[0]
+        raise SynthesisError(
+            f"pattern {pattern.name!r} has a contention period that is not "
+            f"a partial permutation ({reason}; period "
+            f"{{{', '.join(str(c) for c in sorted(clique))}}}). No network "
+            "with one port per processor can serve it contention-free — "
+            "stage the offending collective into sequential phases "
+            "(e.g. a tree broadcast) and re-extract the pattern."
+        )
+    best: Optional[Tuple[Tuple[int, int], int, PartitionResult]] = None
+    failures: List[str] = []
+    for i in range(restarts):
+        try:
+            result = Partitioner(
+                analysis,
+                constraints=constraints,
+                seed=seed + i,
+                reroute=reroute,
+                moves=moves,
+            ).run()
+        except SynthesisError as exc:
+            failures.append(f"seed {seed + i}: {exc}")
+            continue
+        score = (result.total_links(), len(result.state.switches))
+        if best is None or score < best[0]:
+            best = (score, seed + i, result)
+    if best is None:
+        raise SynthesisError(
+            "all restarts failed to satisfy the design constraints:\n  "
+            + "\n  ".join(failures)
+        )
+    _, best_seed, result = best
+    return _materialize(pattern, analysis, result, best_seed)
+
+
+def _materialize(
+    pattern: CommunicationPattern,
+    analysis: CliqueAnalysis,
+    result: PartitionResult,
+    seed: int,
+) -> GeneratedDesign:
+    """Turn a partition result into a concrete network + routing table."""
+    state = result.state
+    net = Network(pattern.num_processes)
+    switch_map: Dict[int, int] = {}
+    live_pipes = {final.switches for final in result.pipe_finals.values()}
+    piped = {s for pair in live_pipes for s in pair}
+    for s in state.switches:
+        # Dead switches (no processors, no traffic) can appear when the
+        # escape moves turn a switch into a relay and rerouting then
+        # empties it; they have no hardware to build.
+        if not state.switch_procs[s] and s not in piped:
+            continue
+        switch_map[s] = net.add_switch()
+    for p, s in sorted(state.proc_switch.items()):
+        net.attach_processor(p, switch_map[s])
+
+    pipe_links: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+    for key, final in sorted(
+        result.pipe_finals.items(), key=lambda kv: kv[1].switches
+    ):
+        u, v = final.switches
+        ids = tuple(
+            net.add_link(switch_map[u], switch_map[v]) for _ in range(final.width)
+        )
+        pipe_links[frozenset((switch_map[u], switch_map[v]))] = ids
+
+    # Traffic-free links planned by the partitioner to keep the system
+    # strongly connected (already accounted in its degree budget).
+    for u, v in result.connectivity_links:
+        link = net.add_link(switch_map[u], switch_map[v])
+        pipe_links.setdefault(frozenset((switch_map[u], switch_map[v])), (link,))
+
+    _ensure_connected(net, pipe_links)
+
+    routes = []
+    for comm in state.comms:
+        path = state.route_of(comm)
+        net_path = [switch_map[s] for s in path]
+        link_choices: Dict[int, int] = {}
+        for hop, (u, v) in enumerate(zip(path, path[1:])):
+            final = result.pipe_finals[frozenset((u, v))]
+            lo, hi = final.switches
+            color = (
+                final.forward_colors[comm] if (u, v) == (lo, hi) else final.backward_colors[comm]
+            )
+            link_choices[hop] = pipe_links[frozenset((switch_map[u], switch_map[v]))][color]
+        routes.append(make_route(net, comm, net_path, link_choices))
+    table = TableRouting(routes)
+    routing = FallbackRouting(table, net)
+
+    certificate = check_contention_free(pattern, routing)
+    topology = Topology(
+        name=f"generated-{pattern.name}",
+        network=net,
+        routing=routing,
+        coords=None,
+        kind="generated",
+    )
+    return GeneratedDesign(
+        topology=topology,
+        pattern=pattern,
+        analysis=analysis,
+        result=result,
+        certificate=certificate,
+        switch_map=switch_map,
+        pipe_links=pipe_links,
+        seed=seed,
+    )
+
+
+def _ensure_connected(
+    net: Network, pipe_links: Dict[FrozenSet[int], Tuple[int, ...]]
+) -> None:
+    """Join disconnected components with single links.
+
+    A pattern whose processor groups never talk to each other can leave
+    the generated switch graph disconnected; Definition 1 requires a
+    strongly-connected system, so one link joins each extra component
+    (attached at the lowest-degree switches to disturb the constraint
+    budget least).
+    """
+    components = _components(net)
+    while len(components) > 1:
+        a = min(components[0], key=net.degree)
+        b = min(components[1], key=net.degree)
+        link = net.add_link(a, b)
+        pipe_links.setdefault(frozenset((a, b)), (link,))
+        components = _components(net)
+
+
+def _components(net: Network) -> List[List[int]]:
+    remaining = set(net.switches)
+    out: List[List[int]] = []
+    while remaining:
+        start = min(remaining)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            s = frontier.pop()
+            for n in net.neighbors(s):
+                if n not in seen:
+                    seen.add(n)
+                    frontier.append(n)
+        out.append(sorted(seen))
+        remaining -= seen
+    return out

@@ -1,0 +1,157 @@
+"""Processor moves between a freshly split switch pair (Appendix steps 7-9).
+
+After ``Best_Route`` settles the routing, the algorithm looks for a
+single processor whose transfer between the two partitions lowers the
+estimated number of links, keeping the partition sizes within two of
+each other (the paper's balance rule).  Candidate moves are evaluated
+with direct-path route re-anchoring (exactly what
+:meth:`SynthesisState.move_processor` does) and scored by the total
+estimate of the pipes incident to the pair.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.synthesis.state import SynthesisState
+
+BALANCE_LIMIT = 2
+
+
+@dataclass(frozen=True)
+class ProcessorMove:
+    """One candidate processor move and its predicted link estimate."""
+
+    processor: int
+    to_switch: int
+    predicted_links: int
+
+
+def _balanced_after(state: SynthesisState, si: int, sj: int, proc: int, to: int) -> bool:
+    """Whether moving ``proc`` keeps |S_i| and |S_j| within the balance rule."""
+    ni = len(state.switch_procs[si])
+    nj = len(state.switch_procs[sj])
+    if to == sj:
+        ni, nj = ni - 1, nj + 1
+    else:
+        ni, nj = ni + 1, nj - 1
+    if min(ni, nj) < 1:
+        return False
+    return abs(ni - nj) <= BALANCE_LIMIT
+
+
+def _score(state: SynthesisState, si: int, sj: int) -> Tuple[int, int]:
+    """Move objective: (estimated links, pipe traffic) around the pair.
+
+    The primary objective is the paper's — the estimated number of
+    links over the pipes touching the pair.  The secondary objective is
+    the number of communications crossing those pipes: moves that
+    internalize communications without changing the link estimate are
+    still worth taking, because they shrink the conflict graphs of
+    later bisections.
+    """
+    links = state.local_links(_affected_switches(state, si, sj))
+    traffic = 0
+    for (u, v), comms in state.pipe_comms.items():
+        if u in (si, sj) or v in (si, sj):
+            traffic += len(comms)
+    return (links, traffic)
+
+
+def best_processor_move(
+    state: SynthesisState, si: int, sj: int
+) -> Optional[ProcessorMove]:
+    """The best strictly-improving processor move, or ``None``.
+
+    Evaluates every processor of the pair in both directions, scoring
+    each by :func:`_score` after the move, and returns the
+    lowest-scoring move that strictly improves on the current
+    assignment (ties broken toward the lowest processor id, keeping the
+    algorithm deterministic given its RNG).
+    """
+    current = _score(state, si, sj)
+    best: Optional[ProcessorMove] = None
+    best_score = current
+    candidates = [
+        (p, sj) for p in sorted(state.switch_procs[si])
+    ] + [
+        (p, si) for p in sorted(state.switch_procs[sj])
+    ]
+    snap = state.snapshot()
+    for proc, to in candidates:
+        if not _balanced_after(state, si, sj, proc, to):
+            continue
+        state.move_processor(proc, to)
+        predicted = _score(state, si, sj)
+        state.restore(snap)
+        if predicted < best_score:
+            best = ProcessorMove(
+                processor=proc, to_switch=to, predicted_links=predicted[0]
+            )
+            best_score = predicted
+    return best
+
+
+def _affected_switches(state: SynthesisState, si: int, sj: int) -> Tuple[int, ...]:
+    """The pair plus every switch piped to either of them."""
+    return tuple({si, sj, *state.pipes_of(si), *state.pipes_of(sj)})
+
+
+def annealed_moves(
+    state: SynthesisState,
+    si: int,
+    sj: int,
+    rng: random.Random,
+    steps: int = 80,
+    initial_temperature: float = 3.0,
+    cooling: float = 0.94,
+) -> int:
+    """Temperature-driven processor moves between a split pair.
+
+    The paper describes the partition optimization as a simulated
+    annealing technique; the Appendix pseudo-code is its greedy limit
+    (:func:`best_processor_move`).  This variant proposes random moves
+    and accepts worsening ones with Boltzmann probability, restoring
+    the best state visited — occasionally escaping plateaus the greedy
+    walk cannot.  Returns the number of accepted moves.
+    """
+
+    def scalar(score: Tuple[int, int]) -> float:
+        links, traffic = score
+        return links * 1000.0 + traffic
+
+    current = scalar(_score(state, si, sj))
+    best_snapshot = state.snapshot()
+    best = current
+    accepted = 0
+    temperature = initial_temperature
+    for _ in range(steps):
+        candidates = [
+            (p, sj) for p in sorted(state.switch_procs[si])
+        ] + [
+            (p, si) for p in sorted(state.switch_procs[sj])
+        ]
+        candidates = [
+            (p, to) for p, to in candidates if _balanced_after(state, si, sj, p, to)
+        ]
+        if not candidates:
+            break
+        proc, to = rng.choice(candidates)
+        snap = state.snapshot()
+        state.move_processor(proc, to)
+        candidate = scalar(_score(state, si, sj))
+        delta = candidate - current
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current = candidate
+            accepted += 1
+            if current < best:
+                best = current
+                best_snapshot = state.snapshot()
+        else:
+            state.restore(snap)
+        temperature *= cooling
+    state.restore(best_snapshot)
+    return accepted

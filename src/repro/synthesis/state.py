@@ -1,0 +1,304 @@
+"""Mutable state of the recursive-bisection methodology (paper Section 3).
+
+The state tracks, at every step of the main partitioning algorithm:
+
+* which processors sit on which switch,
+* the switch-level route of every communication of the target pattern,
+* the *pipes* — for each ordered switch pair, the set of communications
+  crossing it in that direction — and their ``Fast_Color`` link
+  estimates (cached, invalidated incrementally as routes change).
+
+Routes are stored as switch paths; concrete links are only assigned at
+finalization, when exact coloring fixes each pipe's width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import random
+
+from repro.errors import SynthesisError
+from repro.model.cliques import CliqueAnalysis
+from repro.model.message import Communication
+from repro.synthesis.fast_color import fast_color
+
+SwitchPath = Tuple[int, ...]
+PipeKey = Tuple[int, int]  # directed (from_switch, to_switch)
+
+
+def normalize_path(path: Sequence[int]) -> SwitchPath:
+    """Collapse revisits: keep the path simple.
+
+    Consecutive duplicates disappear and any loop (a switch appearing
+    twice) is spliced out by cutting back to its first occurrence.
+    """
+    out: List[int] = []
+    for s in path:
+        if s in out:
+            del out[out.index(s) + 1 :]
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+@dataclass
+class StateSnapshot:
+    """A restorable copy of the mutable parts of a synthesis state."""
+
+    switch_procs: Dict[int, Set[int]]
+    proc_switch: Dict[int, int]
+    routes: Dict[Communication, SwitchPath]
+    pipe_comms: Dict[PipeKey, Set[Communication]]
+    estimates: Dict[FrozenSet[int], int]
+    next_switch: int
+
+
+class SynthesisState:
+    """Partitioning state over a clique analysis of the target pattern."""
+
+    def __init__(self, analysis: CliqueAnalysis) -> None:
+        self.analysis = analysis
+        self.max_cliques = analysis.max_cliques
+        self.comms: Tuple[Communication, ...] = tuple(sorted(analysis.communications))
+        self.num_processors = analysis.pattern.num_processes
+        self.switch_procs: Dict[int, Set[int]] = {}
+        self.proc_switch: Dict[int, int] = {}
+        self.routes: Dict[Communication, SwitchPath] = {}
+        self.pipe_comms: Dict[PipeKey, Set[Communication]] = {}
+        self._estimates: Dict[FrozenSet[int], int] = {}
+        self._next_switch = 0
+
+    @classmethod
+    def initial(cls, analysis: CliqueAnalysis) -> "SynthesisState":
+        """The starting point: one mega-switch connecting all processors."""
+        state = cls(analysis)
+        mega = state._new_switch()
+        for p in range(state.num_processors):
+            state.switch_procs[mega].add(p)
+            state.proc_switch[p] = mega
+        for comm in state.comms:
+            state.routes[comm] = (mega,)
+        return state
+
+    # -- switches ------------------------------------------------------
+
+    def _new_switch(self) -> int:
+        sid = self._next_switch
+        self._next_switch += 1
+        self.switch_procs[sid] = set()
+        return sid
+
+    @property
+    def switches(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.switch_procs))
+
+    def switch_of(self, processor: int) -> int:
+        return self.proc_switch[processor]
+
+    # -- routes and pipes ----------------------------------------------
+
+    def route_of(self, comm: Communication) -> SwitchPath:
+        return self.routes[comm]
+
+    def set_route(self, comm: Communication, path: Sequence[int]) -> None:
+        """Replace a communication's switch path, updating pipe sets."""
+        new_path = normalize_path(path)
+        self._check_route(comm, new_path)
+        old_path = self.routes.get(comm)
+        if old_path == new_path:
+            return
+        if old_path is not None:
+            for u, v in zip(old_path, old_path[1:]):
+                self.pipe_comms[(u, v)].discard(comm)
+                self._estimates.pop(frozenset((u, v)), None)
+        for u, v in zip(new_path, new_path[1:]):
+            self.pipe_comms.setdefault((u, v), set()).add(comm)
+            self._estimates.pop(frozenset((u, v)), None)
+        self.routes[comm] = new_path
+
+    def _check_route(self, comm: Communication, path: SwitchPath) -> None:
+        if not path:
+            raise SynthesisError(f"empty route for {comm}")
+        if path[0] != self.proc_switch[comm.source]:
+            raise SynthesisError(
+                f"route for {comm} starts at S{path[0]}, "
+                f"but its source sits on S{self.proc_switch[comm.source]}"
+            )
+        if path[-1] != self.proc_switch[comm.dest]:
+            raise SynthesisError(
+                f"route for {comm} ends at S{path[-1]}, "
+                f"but its destination sits on S{self.proc_switch[comm.dest]}"
+            )
+        for s in path:
+            if s not in self.switch_procs:
+                raise SynthesisError(f"route for {comm} visits unknown switch S{s}")
+
+    def pipe_forward(self, u: int, v: int) -> FrozenSet[Communication]:
+        """Communications crossing the pipe in the ``u -> v`` direction."""
+        return frozenset(self.pipe_comms.get((u, v), ()))
+
+    def pipes(self) -> Tuple[FrozenSet[int], ...]:
+        """All pipes (unordered switch pairs) with traffic in either direction."""
+        seen = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if comms:
+                seen.add(frozenset((u, v)))
+        return tuple(sorted(seen, key=sorted))
+
+    def pipes_of(self, switch: int) -> Tuple[int, ...]:
+        """Switches sharing a non-empty pipe with ``switch``."""
+        out = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if comms:
+                if u == switch:
+                    out.add(v)
+                elif v == switch:
+                    out.add(u)
+        return tuple(sorted(out))
+
+    def pipe_estimate(self, u: int, v: int) -> int:
+        """``Fast_Color`` link estimate for the pipe between two switches."""
+        key = frozenset((u, v))
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        est = fast_color(self.pipe_forward(u, v), self.pipe_forward(v, u), self.max_cliques)
+        self._estimates[key] = est
+        return est
+
+    def estimated_degree(self, switch: int) -> int:
+        """Estimated port count: processors + estimated pipe links."""
+        return len(self.switch_procs[switch]) + sum(
+            self.pipe_estimate(switch, other) for other in self.pipes_of(switch)
+        )
+
+    def total_links(self) -> int:
+        """Sum of link estimates over every pipe (the synthesis objective)."""
+        return sum(self.pipe_estimate(*sorted(pair)) for pair in self.pipes())
+
+    def all_estimated_degrees(self) -> Dict[int, int]:
+        """Estimated port count of every switch, in one pass over pipes."""
+        deg = {s: len(procs) for s, procs in self.switch_procs.items()}
+        seen = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if not comms:
+                continue
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            est = self.pipe_estimate(u, v)
+            deg[u] += est
+            deg[v] += est
+        return deg
+
+    def objective(self, max_degree: int) -> Tuple[int, int]:
+        """(total degree excess over ``max_degree``, total links) — the
+        lexicographic objective of the global route optimizers."""
+        deg = self.all_estimated_degrees()
+        excess = sum(max(0, d - max_degree) for d in deg.values())
+        return (excess, self.total_links())
+
+    def local_links(self, switches: Iterable[int]) -> int:
+        """Sum of link estimates over pipes incident to any given switch."""
+        pairs = set()
+        for s in switches:
+            for other in self.pipes_of(s):
+                pairs.add(frozenset((s, other)))
+        return sum(self.pipe_estimate(*sorted(pair)) for pair in pairs)
+
+    # -- partitioning moves ---------------------------------------------
+
+    def split_switch(self, si: int, rng: random.Random) -> int:
+        """Partition ``si``: create a sibling and move half the processors.
+
+        The moved half is chosen uniformly at random (Appendix step 5);
+        routes through ``si`` are rewritten with direct paths, i.e. each
+        occurrence of ``si`` keeps its identity except at endpoints that
+        moved.
+        """
+        procs = sorted(self.switch_procs[si])
+        if len(procs) < 2:
+            raise SynthesisError(f"cannot split switch S{si} with {len(procs)} processor(s)")
+        sj = self._new_switch()
+        moved = rng.sample(procs, len(procs) // 2)
+        for p in moved:
+            self.switch_procs[si].discard(p)
+            self.switch_procs[sj].add(p)
+            self.proc_switch[p] = sj
+        for comm in self.comms:
+            path = self.routes[comm]
+            if si in path or self.proc_switch[comm.source] == sj or self.proc_switch[comm.dest] == sj:
+                self.set_route(comm, self._endpoint_adjusted(comm, path))
+        return sj
+
+    def move_processor(self, processor: int, to_switch: int) -> None:
+        """Move one processor to another switch, re-anchoring its routes.
+
+        Routes of communications that start or end at the processor are
+        re-anchored on the new switch directly (Appendix step 7 assumes
+        direct paths when evaluating moves).
+        """
+        frm = self.proc_switch[processor]
+        if frm == to_switch:
+            return
+        if to_switch not in self.switch_procs:
+            raise SynthesisError(f"no switch S{to_switch}")
+        self.switch_procs[frm].discard(processor)
+        self.switch_procs[to_switch].add(processor)
+        self.proc_switch[processor] = to_switch
+        for comm in self.comms:
+            if comm.source == processor or comm.dest == processor:
+                self.set_route(comm, self._endpoint_adjusted(comm, self.routes[comm]))
+
+    def _endpoint_adjusted(self, comm: Communication, path: SwitchPath) -> SwitchPath:
+        """Re-anchor a path on the current switches of its endpoints.
+
+        The interior of the old path is preserved (direct adjustment);
+        :func:`normalize_path` splices out any loop the re-anchoring
+        introduces.
+        """
+        src = self.proc_switch[comm.source]
+        dst = self.proc_switch[comm.dest]
+        if src == dst:
+            return (src,)
+        return normalize_path([src, *path[1:-1], dst])
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """Capture the mutable state for later :meth:`restore`."""
+        return StateSnapshot(
+            switch_procs={s: set(ps) for s, ps in self.switch_procs.items()},
+            proc_switch=dict(self.proc_switch),
+            routes=dict(self.routes),
+            pipe_comms={k: set(v) for k, v in self.pipe_comms.items()},
+            estimates=dict(self._estimates),
+            next_switch=self._next_switch,
+        )
+
+    def restore(self, snap: StateSnapshot) -> None:
+        """Rewind to a previously captured snapshot."""
+        self.switch_procs = {s: set(ps) for s, ps in snap.switch_procs.items()}
+        self.proc_switch = dict(snap.proc_switch)
+        self.routes = dict(snap.routes)
+        self.pipe_comms = {k: set(v) for k, v in snap.pipe_comms.items()}
+        self._estimates = dict(snap.estimates)
+        self._next_switch = snap.next_switch
+
+    # -- reporting --------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line dump in the style of the paper's Figure 5."""
+        lines = [f"state: {len(self.switches)} switches, est. {self.total_links()} links"]
+        for s in self.switches:
+            procs = ",".join(str(p) for p in sorted(self.switch_procs[s]))
+            pipes = ", ".join(
+                f"S{o}:{self.pipe_estimate(s, o)}" for o in self.pipes_of(s)
+            )
+            lines.append(
+                f"  S{s} procs[{procs}] deg~{self.estimated_degree(s)} pipes[{pipes}]"
+            )
+        return "\n".join(lines)

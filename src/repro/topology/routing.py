@@ -1,0 +1,245 @@
+"""Source-based routing functions (paper Definition 6).
+
+A routing function supplies, for every communication, a single ordered
+path of link resources from the source processor to the destination
+processor.  All routing functions here expose:
+
+* ``route(comm) -> Route`` — the full path, and
+* ``__call__(comm) -> frozenset`` — just the link-resource footprint,
+  which is the shape :func:`repro.model.conflicts.network_resource_conflict_set`
+  consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.model.message import Communication
+from repro.topology.network import (
+    LinkResource,
+    Network,
+    ejection_resource,
+    injection_resource,
+)
+
+
+@dataclass(frozen=True)
+class Route:
+    """One deterministic path for a communication.
+
+    Attributes:
+        comm: the (source, dest) pair being routed.
+        switch_path: ordered switch ids from the source's switch to the
+            destination's switch (length >= 1).
+        hops: the directed inter-switch channel tokens, one per
+            consecutive switch pair, each pinned to a concrete link id.
+        resources: the complete footprint — injection + hops + ejection.
+    """
+
+    comm: Communication
+    switch_path: Tuple[int, ...]
+    hops: Tuple[LinkResource, ...]
+    resources: FrozenSet[LinkResource]
+
+    @property
+    def num_hops(self) -> int:
+        """Number of inter-switch links traversed."""
+        return len(self.hops)
+
+    @property
+    def link_ids(self) -> Tuple[int, ...]:
+        """Concrete link ids used, in traversal order."""
+        return tuple(h[1] for h in self.hops)
+
+
+def make_route(
+    network: Network,
+    comm: Communication,
+    switch_path: Sequence[int],
+    link_choices: Optional[Mapping[int, int]] = None,
+) -> Route:
+    """Build a :class:`Route` from a switch path.
+
+    ``link_choices`` optionally pins hop index -> link id for hops over
+    parallel links; unpinned hops take the lowest link id between the
+    two switches.
+    """
+    path = tuple(switch_path)
+    if not path:
+        raise RoutingError(f"empty switch path for {comm}")
+    if network.switch_of(comm.source) != path[0]:
+        raise RoutingError(f"path for {comm} does not start at the source's switch")
+    if network.switch_of(comm.dest) != path[-1]:
+        raise RoutingError(f"path for {comm} does not end at the destination's switch")
+    hops = []
+    for i, (u, v) in enumerate(zip(path, path[1:])):
+        candidates = network.links_between(u, v)
+        if not candidates:
+            raise RoutingError(f"path for {comm} uses missing link between S{u} and S{v}")
+        link_id = candidates[0]
+        if link_choices and i in link_choices:
+            link_id = link_choices[i]
+            if link_id not in candidates:
+                raise RoutingError(
+                    f"pinned link {link_id} does not join S{u} and S{v} for {comm}"
+                )
+        hops.append(network.link(link_id).resource(u))
+    resources = frozenset(
+        [injection_resource(comm.source), ejection_resource(comm.dest), *hops]
+    )
+    return Route(comm=comm, switch_path=path, hops=tuple(hops), resources=resources)
+
+
+class RoutingBase:
+    """Shared call interface: footprint lookup via ``route``."""
+
+    def route(self, comm: Communication) -> Route:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, comm: Communication) -> FrozenSet[LinkResource]:
+        return self.route(comm).resources
+
+
+class TableRouting(RoutingBase):
+    """Explicit source-routing table, as emitted by the synthesizer."""
+
+    def __init__(self, routes: Iterable[Route]) -> None:
+        self._routes: Dict[Communication, Route] = {}
+        for r in routes:
+            if r.comm in self._routes:
+                raise RoutingError(f"duplicate route for {r.comm}")
+            self._routes[r.comm] = r
+
+    def route(self, comm: Communication) -> Route:
+        try:
+            return self._routes[comm]
+        except KeyError:
+            raise RoutingError(f"no route installed for {comm}") from None
+
+    def has_route(self, comm: Communication) -> bool:
+        return comm in self._routes
+
+    @property
+    def communications(self) -> Tuple[Communication, ...]:
+        return tuple(sorted(self._routes))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes.values())
+
+
+class ShortestPathRouting(RoutingBase):
+    """Deterministic BFS shortest-path routing over any network.
+
+    Ties are broken toward the lowest switch id, so the routing function
+    is a function (Definition 6 requires a *single* ordered path per
+    pair).  Routes are cached.
+    """
+
+    def __init__(self, network: Network) -> None:
+        network.validate()
+        self._network = network
+        self._cache: Dict[Communication, Route] = {}
+        self._parents: Dict[int, Dict[int, int]] = {}
+
+    def route(self, comm: Communication) -> Route:
+        cached = self._cache.get(comm)
+        if cached is not None:
+            return cached
+        src_switch = self._network.switch_of(comm.source)
+        dst_switch = self._network.switch_of(comm.dest)
+        path = self._switch_path(src_switch, dst_switch)
+        r = make_route(self._network, comm, path)
+        self._cache[comm] = r
+        return r
+
+    def _switch_path(self, src: int, dst: int) -> Tuple[int, ...]:
+        parents = self._parents.get(src)
+        if parents is None:
+            parents = self._bfs(src)
+            self._parents[src] = parents
+        if dst not in parents:
+            raise RoutingError(f"switch S{dst} unreachable from S{src}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(parents[path[-1]])
+        return tuple(reversed(path))
+
+    def _bfs(self, src: int) -> Dict[int, int]:
+        parents = {src: src}
+        queue = deque([src])
+        while queue:
+            s = queue.popleft()
+            for n in self._network.neighbors(s):
+                if n not in parents:
+                    parents[n] = s
+                    queue.append(n)
+        return parents
+
+
+class DimensionOrderRouting(RoutingBase):
+    """XY dimension-order routing on a mesh or torus.
+
+    ``coords`` maps switch id -> (x, y).  On a torus each dimension
+    takes the shorter way around; exact ties go in the positive
+    direction, keeping the function deterministic.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        coords: Mapping[int, Tuple[int, int]],
+        width: int,
+        height: int,
+        wraparound: bool = False,
+    ) -> None:
+        network.validate()
+        self._network = network
+        self._coords = dict(coords)
+        self._by_coord = {xy: s for s, xy in self._coords.items()}
+        self._width = width
+        self._height = height
+        self._wrap = wraparound
+        self._cache: Dict[Communication, Route] = {}
+
+    def route(self, comm: Communication) -> Route:
+        cached = self._cache.get(comm)
+        if cached is not None:
+            return cached
+        src = self._network.switch_of(comm.source)
+        dst = self._network.switch_of(comm.dest)
+        x, y = self._coords[src]
+        dx, dy = self._coords[dst]
+        path = [src]
+        for nx in self._axis_steps(x, dx, self._width):
+            path.append(self._by_coord[(nx, y)])
+            x = nx
+        for ny in self._axis_steps(y, dy, self._height):
+            path.append(self._by_coord[(x, ny)])
+            y = ny
+        r = make_route(self._network, comm, path)
+        self._cache[comm] = r
+        return r
+
+    def _axis_steps(self, frm: int, to: int, extent: int) -> Iterable[int]:
+        if frm == to:
+            return
+        if not self._wrap:
+            step = 1 if to > frm else -1
+            cur = frm
+            while cur != to:
+                cur += step
+                yield cur
+            return
+        forward = (to - frm) % extent
+        backward = (frm - to) % extent
+        step = 1 if forward <= backward else -1
+        cur = frm
+        while cur != to:
+            cur = (cur + step) % extent
+            yield cur

@@ -1,0 +1,74 @@
+"""Validation helpers for system graphs and routing functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import RoutingError, TopologyError
+from repro.model.message import Communication
+from repro.topology.network import Network
+from repro.topology.routing import RoutingBase
+
+
+@dataclass(frozen=True)
+class DegreeReport:
+    """Port usage of every switch against a degree bound."""
+
+    max_allowed: int
+    degrees: Tuple[Tuple[int, int], ...]  # (switch id, degree)
+
+    @property
+    def violators(self) -> Tuple[int, ...]:
+        return tuple(s for s, d in self.degrees if d > self.max_allowed)
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.violators
+
+
+def degree_report(network: Network, max_degree: int) -> DegreeReport:
+    """Check every switch's port count against ``max_degree``."""
+    return DegreeReport(
+        max_allowed=max_degree,
+        degrees=tuple((s, network.degree(s)) for s in network.switches),
+    )
+
+
+def check_routes_valid(
+    network: Network,
+    routing: RoutingBase,
+    communications: Iterable[Communication],
+) -> None:
+    """Verify a routing function produces connected, well-formed routes.
+
+    Every route must start at the source's switch, end at the
+    destination's switch, and traverse only existing links in a
+    contiguous walk.  Raises :class:`RoutingError` on the first failure.
+    """
+    for comm in sorted(set(communications)):
+        route = routing.route(comm)
+        path = route.switch_path
+        if network.switch_of(comm.source) != path[0]:
+            raise RoutingError(f"route for {comm} starts at the wrong switch")
+        if network.switch_of(comm.dest) != path[-1]:
+            raise RoutingError(f"route for {comm} ends at the wrong switch")
+        if len(route.hops) != len(path) - 1:
+            raise RoutingError(f"route for {comm} has mismatched hop count")
+        for (u, v), hop in zip(zip(path, path[1:]), route.hops):
+            _, link_id, direction = hop
+            link = network.link(link_id)
+            expected = (link.u, link.v) if direction == 0 else (link.v, link.u)
+            if expected != (u, v):
+                raise RoutingError(
+                    f"route for {comm} traverses link {link_id} inconsistently "
+                    f"({expected} vs ({u}, {v}))"
+                )
+        if len(set(path)) != len(path):
+            raise RoutingError(f"route for {comm} revisits a switch: {path}")
+
+
+def require_connected(network: Network) -> None:
+    """Raise :class:`TopologyError` unless the switch graph is connected."""
+    if not network.is_connected():
+        raise TopologyError("network switch graph is not connected")

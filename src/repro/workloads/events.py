@@ -1,0 +1,179 @@
+"""Per-process program events and phase-structured program builders.
+
+Programs model the paper's phase-parallel applications: every process
+alternates computation with communication phases, and within a phase
+corresponding communication library calls are assumed to line up across
+processes (the paper's synchronized-call assumption).  The builder also
+supports per-process compute jitter, which reintroduces the *time skew*
+the paper identifies as the source of residual contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """Local computation for a number of cycles."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise WorkloadError(f"compute cycles cannot be negative: {self.cycles}")
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """Send ``size_bytes`` to ``dest`` (blocking only for the overhead)."""
+
+    dest: int
+    size_bytes: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise WorkloadError(f"message size must be positive: {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    """Block until the next unmatched message from ``source`` arrives."""
+
+    source: int
+    tag: str = ""
+
+
+Event = Union[ComputeEvent, SendEvent, RecvEvent]
+
+# One phase: the (source, dest, size) messages exchanged in it.
+PhaseMessages = Sequence[Tuple[int, int, int]]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete multi-process program.
+
+    Attributes:
+        name: label ("CG-16", ...).
+        num_processes: process count.
+        events: per-process event sequences.
+        phase_tags: tags of the communication phases, in order (used by
+            the pattern analyzer).
+    """
+
+    name: str
+    num_processes: int
+    events: Tuple[Tuple[Event, ...], ...]
+    phase_tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.events) != self.num_processes:
+            raise WorkloadError(
+                f"program {self.name} has {len(self.events)} event streams "
+                f"for {self.num_processes} processes"
+            )
+        for proc, stream in enumerate(self.events):
+            for event in stream:
+                if isinstance(event, SendEvent) and not 0 <= event.dest < self.num_processes:
+                    raise WorkloadError(
+                        f"process {proc} sends to out-of-range process {event.dest}"
+                    )
+                if isinstance(event, RecvEvent) and not 0 <= event.source < self.num_processes:
+                    raise WorkloadError(
+                        f"process {proc} receives from out-of-range process {event.source}"
+                    )
+
+    @property
+    def total_messages(self) -> int:
+        return sum(
+            1 for stream in self.events for e in stream if isinstance(e, SendEvent)
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(
+            e.size_bytes for stream in self.events for e in stream if isinstance(e, SendEvent)
+        )
+
+    def sends_balanced(self) -> bool:
+        """Whether every send has a matching receive (per pair counts)."""
+        sends: Dict[Tuple[int, int], int] = {}
+        recvs: Dict[Tuple[int, int], int] = {}
+        for proc, stream in enumerate(self.events):
+            for e in stream:
+                if isinstance(e, SendEvent):
+                    sends[(proc, e.dest)] = sends.get((proc, e.dest), 0) + 1
+                elif isinstance(e, RecvEvent):
+                    recvs[(e.source, proc)] = recvs.get((e.source, proc), 0) + 1
+        return sends == recvs
+
+
+class PhaseProgramBuilder:
+    """Builds phase-parallel programs.
+
+    Each communication phase appends, for every process: an optional
+    compute block (with per-process jitter), then that process's sends,
+    then its receives.  Send-before-receive within a phase keeps
+    pairwise exchanges deadlock-free under blocking receives.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        name: str,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if num_processes <= 0:
+            raise WorkloadError(f"need a positive process count, got {num_processes}")
+        if not 0.0 <= jitter < 1.0:
+            raise WorkloadError(f"jitter fraction must be in [0, 1), got {jitter}")
+        self.num_processes = num_processes
+        self.name = name
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._events: List[List[Event]] = [[] for _ in range(num_processes)]
+        self._phase_tags: List[str] = []
+
+    def compute(self, cycles: int, processes: Optional[Sequence[int]] = None) -> "PhaseProgramBuilder":
+        """Add a compute block (jittered per process) to the given
+        processes (default: all)."""
+        targets = range(self.num_processes) if processes is None else processes
+        for p in targets:
+            jittered = cycles
+            if self.jitter > 0.0 and cycles > 0:
+                factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+                jittered = max(0, int(round(cycles * factor)))
+            self._events[p].append(ComputeEvent(jittered))
+        return self
+
+    def phase(self, messages: PhaseMessages, tag: str = "") -> "PhaseProgramBuilder":
+        """Add one communication phase.
+
+        ``messages`` lists the (source, dest, size) transfers that make
+        up the phase — one matching library call per process involved.
+        """
+        tag = tag or f"phase{len(self._phase_tags)}"
+        self._phase_tags.append(tag)
+        for src, dst, size in messages:
+            if src == dst:
+                raise WorkloadError(f"phase {tag} has a self-message at {src}")
+            self._events[src].append(SendEvent(dest=dst, size_bytes=size, tag=tag))
+        for src, dst, _ in messages:
+            self._events[dst].append(RecvEvent(source=src, tag=tag))
+        return self
+
+    def build(self) -> Program:
+        """Finalize the program."""
+        return Program(
+            name=self.name,
+            num_processes=self.num_processes,
+            events=tuple(tuple(stream) for stream in self._events),
+            phase_tags=tuple(self._phase_tags),
+        )

@@ -1,0 +1,145 @@
+"""Execution traces (the paper's MPE-style communication event logue).
+
+The paper obtains communication patterns by profiling benchmark runs
+into a trace of communication library calls.  We reproduce the
+pipeline: programs are logically executed into a :class:`Trace` of send
+and receive records tagged with their originating library call, and the
+analyzer (:mod:`repro.workloads.analyzer`) reconstructs contention
+periods from matching calls across processes.  Traces round-trip
+through a JSON-lines file format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.errors import WorkloadError
+from repro.workloads.events import ComputeEvent, Program, RecvEvent, SendEvent
+
+SEND = "send"
+RECV = "recv"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged communication library call."""
+
+    process: int
+    op: str
+    peer: int
+    size_bytes: int
+    tag: str
+
+    def __post_init__(self) -> None:
+        if self.op not in (SEND, RECV):
+            raise WorkloadError(f"unknown trace op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete communication event logue of one program run."""
+
+    name: str
+    num_processes: int
+    records: Tuple[TraceRecord, ...]
+
+    def sends(self) -> Tuple[TraceRecord, ...]:
+        return tuple(r for r in self.records if r.op == SEND)
+
+    def recvs(self) -> Tuple[TraceRecord, ...]:
+        return tuple(r for r in self.records if r.op == RECV)
+
+    def tags_in_order(self) -> Tuple[str, ...]:
+        """Distinct call tags by first appearance (program phase order)."""
+        seen = []
+        for r in self.records:
+            if r.tag not in seen:
+                seen.append(r.tag)
+        return tuple(seen)
+
+
+def trace_program(program: Program) -> Trace:
+    """Logically execute a program into its communication trace.
+
+    Events are walked per process in program order; compute events leave
+    no trace records (the analyzer only needs call structure).  Records
+    are emitted process-major, which is irrelevant to the analyzer (it
+    groups by tag).
+    """
+    records: List[TraceRecord] = []
+    for proc, stream in enumerate(program.events):
+        for event in stream:
+            if isinstance(event, SendEvent):
+                records.append(
+                    TraceRecord(
+                        process=proc,
+                        op=SEND,
+                        peer=event.dest,
+                        size_bytes=event.size_bytes,
+                        tag=event.tag,
+                    )
+                )
+            elif isinstance(event, RecvEvent):
+                records.append(
+                    TraceRecord(
+                        process=proc,
+                        op=RECV,
+                        peer=event.source,
+                        size_bytes=0,
+                        tag=event.tag,
+                    )
+                )
+            elif not isinstance(event, ComputeEvent):  # pragma: no cover
+                raise WorkloadError(f"unknown event {event!r}")
+    return Trace(name=program.name, num_processes=program.num_processes, records=tuple(records))
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace as JSON lines (one header line, one per record)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"name": trace.name, "num_processes": trace.num_processes}
+        fh.write(json.dumps(header) + "\n")
+        for r in trace.records:
+            fh.write(
+                json.dumps(
+                    {
+                        "process": r.process,
+                        "op": r.op,
+                        "peer": r.peer,
+                        "size_bytes": r.size_bytes,
+                        "tag": r.tag,
+                    }
+                )
+                + "\n"
+            )
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise WorkloadError(f"trace file {path} is empty")
+    header = json.loads(lines[0])
+    records = []
+    for line in lines[1:]:
+        raw = json.loads(line)
+        records.append(
+            TraceRecord(
+                process=raw["process"],
+                op=raw["op"],
+                peer=raw["peer"],
+                size_bytes=raw["size_bytes"],
+                tag=raw["tag"],
+            )
+        )
+    return Trace(
+        name=header["name"],
+        num_processes=header["num_processes"],
+        records=tuple(records),
+    )

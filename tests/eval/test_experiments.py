@@ -1,0 +1,116 @@
+"""Tests for the evaluation harness (on the cheap 8/9-node configs)."""
+
+import pytest
+
+from repro.eval import (
+    BenchmarkSetup,
+    cross_workload_table,
+    figure7_rows,
+    figure7_table,
+    figure8_table,
+    paper_sizes,
+    prepare,
+    run_performance,
+)
+from repro.eval.experiments import CrossWorkloadRow, Figure8Row
+from repro.simulator import SimConfig
+
+
+@pytest.fixture(scope="module")
+def cg8():
+    return prepare("cg", 8, seed=0)
+
+
+class TestPaperSizes:
+    def test_small_sizes(self):
+        sizes = paper_sizes("small")
+        assert sizes["bt"] == 9 and sizes["cg"] == 8
+
+    def test_large_sizes(self):
+        assert set(paper_sizes("large").values()) == {16}
+
+
+class TestPrepare:
+    def test_setup_is_cached(self, cg8):
+        assert prepare("cg", 8, seed=0) is cg8
+
+    def test_setup_has_all_baselines(self, cg8):
+        assert set(cg8.baselines) == {"crossbar", "mesh", "torus"}
+
+    def test_generated_design_satisfies_constraints(self, cg8):
+        assert cg8.design.network.max_degree() <= 5
+
+    def test_link_delays_for_each_kind(self, cg8):
+        assert cg8.link_delays("mesh") is None
+        torus_delays = cg8.link_delays("torus")
+        assert torus_delays
+        assert set(torus_delays.values()) <= {1, 2}
+        gen_delays = cg8.link_delays("generated")
+        assert all(d >= 1 for d in gen_delays.values())
+
+    def test_torus_wrap_links_are_longer(self, cg8):
+        # 4x2 torus: exactly the two x-wraparound links get delay 2.
+        delays = cg8.link_delays("torus")
+        assert sorted(delays.values()).count(2) == 2
+
+
+class TestRunPerformance:
+    def test_all_topologies_simulated(self, cg8):
+        results = run_performance(cg8, config=SimConfig(max_cycles=5_000_000))
+        assert set(results) == {"crossbar", "mesh", "torus", "generated"}
+        sent = cg8.benchmark.program.total_messages
+        for r in results.values():
+            assert r.delivered_packets == sent
+
+    def test_crossbar_is_never_beaten_significantly(self, cg8):
+        """The non-blocking crossbar is the ideal network: nothing
+        should beat it by more than scheduling noise."""
+        results = run_performance(cg8, config=SimConfig(max_cycles=5_000_000))
+        base = results["crossbar"].execution_cycles
+        for kind, r in results.items():
+            assert r.execution_cycles >= 0.98 * base, kind
+
+
+class TestFigure7:
+    def test_rows_cover_all_benchmarks(self):
+        rows = figure7_rows("small", seed=0)
+        assert {r.benchmark for r in rows} == {
+            "bt-9", "cg-8", "fft-8", "mg-8", "sp-9"
+        }
+
+    def test_generated_cheaper_than_mesh(self):
+        """The headline claim: generated networks use fewer resources."""
+        for row in figure7_rows("small", seed=0):
+            assert row.generated_switch_ratio < 1.0
+            assert row.generated_link_ratio < 1.0
+
+    def test_table_renders(self):
+        text = figure7_table(figure7_rows("small", seed=0), "t")
+        assert "cg-8" in text and "torus" in text
+
+
+class TestTables:
+    def test_figure8_table_renders(self):
+        rows = [
+            Figure8Row(
+                benchmark="cg-8",
+                num_processes=8,
+                topology="mesh",
+                execution_ratio=1.1,
+                communication_ratio=1.3,
+                execution_cycles=1000,
+                avg_comm_cycles=10.0,
+                deadlocks=0,
+            )
+        ]
+        text = figure8_table(rows, "t")
+        assert "1.100" in text and "mesh" in text
+
+    def test_cross_workload_table_renders(self):
+        rows = [
+            CrossWorkloadRow(
+                guest="fft-16", network="host", execution_cycles=123, degradation_vs_own=0.02
+            )
+        ]
+        text = cross_workload_table(rows, "t")
+        assert "+2.0%" in text

@@ -1,0 +1,73 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.eval.power import EnergyModel, estimate_energy
+from repro.simulator import SimConfig, simulate
+from repro.topology import crossbar, mesh
+from repro.workloads import PhaseProgramBuilder
+
+
+def _program(n=4, size=256):
+    b = PhaseProgramBuilder(n, "pwr")
+    for k in range(3):
+        b.compute(100)
+        b.phase([(i, (i + 1 + k) % n, size) for i in range(n)])
+    return b.build()
+
+
+class TestEnergyModel:
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(switch_traversal_pj=-1)
+
+    def test_energy_positive_for_real_traffic(self):
+        result = simulate(_program(), mesh(2, 2), SimConfig())
+        report = estimate_energy(result, num_switches=4, num_links=4)
+        assert report.dynamic_pj > 0
+        assert report.static_pj > 0
+        assert report.total_pj == report.dynamic_pj + report.static_pj
+
+    def test_longer_links_cost_more_dynamic_energy(self):
+        result = simulate(_program(), mesh(2, 2), SimConfig())
+        short = estimate_energy(
+            result, num_switches=4, link_lengths={i: 1 for i in range(4)}
+        )
+        long = estimate_energy(
+            result, num_switches=4, link_lengths={i: 3 for i in range(4)}
+        )
+        assert long.dynamic_pj > short.dynamic_pj
+        assert long.static_pj > short.static_pj
+
+    def test_more_switches_leak_more(self):
+        result = simulate(_program(), mesh(2, 2), SimConfig())
+        few = estimate_energy(result, num_switches=2, num_links=4)
+        many = estimate_energy(result, num_switches=16, num_links=4)
+        assert many.static_pj > few.static_pj
+        assert many.dynamic_pj == few.dynamic_pj
+
+    def test_generated_network_beats_mesh_on_energy(self):
+        """The future-work claim: fewer switches and shorter paths mean
+        less energy for the same workload."""
+        from repro.floorplan import place
+        from repro.synthesis import generate_network
+        from repro.workloads import cg
+
+        bench = cg(8, iterations=1)
+        design = generate_network(bench.pattern, seed=0, restarts=4)
+        plan = place(design.network, seed=0)
+        cfg = SimConfig(max_cycles=5_000_000)
+        gen = simulate(
+            bench.program, design.topology, cfg, link_delays=plan.link_delays()
+        )
+        top = __import__("repro.topology", fromlist=["mesh_for"]).mesh_for(8)
+        msh = simulate(bench.program, top, cfg)
+        gen_e = estimate_energy(
+            gen, num_switches=design.num_switches, link_lengths=plan.link_costs
+        )
+        mesh_e = estimate_energy(
+            msh,
+            num_switches=top.network.num_switches,
+            link_lengths={l.link_id: 1 for l in top.network.links},
+        )
+        assert gen_e.total_pj < mesh_e.total_pj

@@ -1,0 +1,74 @@
+"""Tests for the figure-table renderers."""
+
+from repro.eval.experiments import CrossWorkloadRow, Figure7Row, Figure8Row
+from repro.eval.report import (
+    cross_workload_table,
+    figure7_table,
+    figure8_table,
+)
+
+
+def _f7(benchmark="cg-16", sw=0.5, link=0.42):
+    return Figure7Row(
+        benchmark=benchmark,
+        num_processes=16,
+        generated_switch_ratio=sw,
+        generated_link_ratio=link,
+        num_switches=8,
+        num_links=10,
+    )
+
+
+class TestFigure7Table:
+    def test_contains_title_and_values(self):
+        text = figure7_table([_f7()], "Figure 7(b)")
+        assert text.startswith("Figure 7(b)")
+        assert "0.50" in text and "0.42" in text
+
+    def test_torus_reference_columns(self):
+        text = figure7_table([_f7()], "t")
+        assert "2.00" in text  # torus link factor
+
+    def test_column_alignment(self):
+        rows = [_f7("a"), _f7("much-longer-name")]
+        text = figure7_table(rows, "t")
+        lines = text.splitlines()
+        # Separator and data lines start aligned with the header.
+        assert len(lines[1]) >= len("benchmark")
+        assert "much-longer-name" in text
+
+
+class TestFigure8Table:
+    def test_ratios_formatted(self):
+        row = Figure8Row(
+            benchmark="cg-16",
+            num_processes=16,
+            topology="mesh",
+            execution_ratio=1.2835,
+            communication_ratio=1.5714,
+            execution_cycles=24000,
+            avg_comm_cycles=9000.0,
+            deadlocks=0,
+        )
+        text = figure8_table([row], "t")
+        assert "1.283" in text or "1.284" in text
+        assert "1.571" in text
+
+    def test_deadlock_column(self):
+        row = Figure8Row(
+            benchmark="x", num_processes=8, topology="torus",
+            execution_ratio=1.0, communication_ratio=1.0,
+            execution_cycles=1, avg_comm_cycles=1.0, deadlocks=3,
+        )
+        assert "3" in figure8_table([row], "t").splitlines()[-1]
+
+
+class TestCrossWorkloadTable:
+    def test_signed_percentages(self):
+        rows = [
+            CrossWorkloadRow("fft-16", "own", 100, 0.0),
+            CrossWorkloadRow("fft-16", "host", 122, 0.22),
+        ]
+        text = cross_workload_table(rows, "t")
+        assert "+0.0%" in text
+        assert "+22.0%" in text

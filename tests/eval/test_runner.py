@@ -1,0 +1,40 @@
+"""Unit tests for the evaluation runner's cross-workload orchestration."""
+
+import pytest
+
+from repro.eval import prepare, run_cross_workload
+from repro.simulator import SimConfig
+
+
+@pytest.fixture(scope="module")
+def host():
+    return prepare("cg", 8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def guest():
+    return prepare("fft", 8, seed=0)
+
+
+class TestCrossWorkload:
+    def test_returns_three_results(self, host, guest):
+        results = run_cross_workload(
+            host, guest, config=SimConfig(max_cycles=20_000_000)
+        )
+        assert set(results) == {"own", "host", "mesh"}
+
+    def test_guest_program_runs_everywhere(self, host, guest):
+        results = run_cross_workload(
+            host, guest, config=SimConfig(max_cycles=20_000_000)
+        )
+        expected = guest.benchmark.program.total_messages
+        for name, r in results.items():
+            assert r.delivered_packets == expected, name
+
+    def test_own_network_is_at_least_as_good_as_foreign(self, host, guest):
+        results = run_cross_workload(
+            host, guest, config=SimConfig(max_cycles=20_000_000)
+        )
+        # A network designed for the guest never loses badly to a
+        # foreign one; allow small scheduling noise.
+        assert results["own"].execution_cycles <= 1.05 * results["host"].execution_cycles

@@ -1,0 +1,93 @@
+"""Tests for SA placement and the area model."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import TileGrid, measure_area, mesh_areas, place
+from repro.topology import Network, crossbar, mesh, mesh_for, torus_for
+
+
+def _clustered_network():
+    """Eight processors on four switches in a chain — easily placeable."""
+    net = Network(8)
+    switches = [net.add_switch() for _ in range(4)]
+    for p in range(8):
+        net.attach_processor(p, switches[p // 2])
+    for u, v in zip(switches, switches[1:]):
+        net.add_link(u, v)
+    return net
+
+
+class TestPlace:
+    def test_feasible_placement_for_clustered_network(self):
+        plan = place(_clustered_network(), seed=0)
+        assert plan.feasible
+
+    def test_every_processor_gets_a_distinct_cell(self):
+        plan = place(_clustered_network(), seed=1)
+        cells = list(plan.processor_cell.values())
+        assert len(set(cells)) == len(cells)
+
+    def test_adjacency_constraint_when_feasible(self):
+        net = _clustered_network()
+        plan = place(net, seed=0)
+        if plan.feasible:
+            for p in range(8):
+                corner = plan.switch_corner[net.switch_of(p)]
+                assert plan.grid.touches(plan.processor_cell[p], corner)
+
+    def test_crossbar_cannot_be_feasible_beyond_four(self):
+        """A single switch can host at most the four tiles around its
+        corner, so an 8-processor crossbar never places feasibly."""
+        plan = place(crossbar(8).network, seed=0)
+        assert not plan.feasible
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(FloorplanError):
+            place(_clustered_network(), grid=TileGrid(2, 2))
+
+    def test_link_delays_min_one(self):
+        plan = place(_clustered_network(), seed=0)
+        assert all(d >= 1 for d in plan.link_delays().values())
+
+    def test_deterministic_by_seed(self):
+        a = place(_clustered_network(), seed=5)
+        b = place(_clustered_network(), seed=5)
+        assert a.switch_corner == b.switch_corner
+        assert a.processor_cell == b.processor_cell
+
+
+class TestAreaModel:
+    def test_mesh_reference_values(self):
+        sw, link = mesh_areas(16)
+        assert sw == 16.0
+        assert link == 24.0
+
+    def test_mesh_report_is_identity(self):
+        report = measure_area(mesh_for(16))
+        assert report.switch_ratio == 1.0
+        assert report.link_ratio == 1.0
+
+    def test_torus_doubles_link_area(self):
+        report = measure_area(torus_for(16))
+        assert report.switch_ratio == 1.0
+        assert report.link_ratio == 2.0
+
+    def test_generated_like_network_is_cheaper_than_mesh(self):
+        from repro.topology import Topology, ShortestPathRouting
+
+        net = _clustered_network()
+        top = Topology(
+            name="custom",
+            network=net,
+            routing=ShortestPathRouting(net),
+            kind="generated",
+        )
+        report = measure_area(top, seed=0)
+        assert report.switch_ratio == 4 / 8
+        assert report.link_ratio < 1.0
+        assert report.total_ratio < 1.0
+
+    def test_total_ratio_combines_both(self):
+        report = measure_area(torus_for(16))
+        assert report.total_ratio == pytest.approx((16 + 48) / (16 + 24))

@@ -1,0 +1,27 @@
+"""Tests for floorplan rendering."""
+
+from repro.floorplan import place
+from repro.topology import Network
+
+
+def _net():
+    net = Network(4)
+    a, b = net.add_switch(), net.add_switch()
+    for p, s in [(0, a), (1, a), (2, b), (3, b)]:
+        net.attach_processor(p, s)
+    net.add_link(a, b)
+    return net
+
+
+class TestRender:
+    def test_mentions_every_processor_and_switch(self):
+        plan = place(_net(), seed=0)
+        text = plan.render()
+        for p in range(4):
+            assert f"P{p}" in text
+        assert "S0 at corner" in text and "S1 at corner" in text
+
+    def test_grid_rows_match_height(self):
+        plan = place(_net(), seed=0)
+        rows = [l for l in plan.render().splitlines() if "P" in l and "corner" not in l]
+        assert len(rows) == plan.grid.height

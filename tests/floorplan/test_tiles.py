@@ -1,0 +1,56 @@
+"""Tests for the tile/corner geometry."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import TileGrid, manhattan
+
+
+class TestTileGrid:
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(FloorplanError):
+            TileGrid(0, 3)
+
+    def test_cell_and_corner_counts(self):
+        g = TileGrid(4, 2)
+        assert g.num_cells == 8
+        assert len(g.cells()) == 8
+        assert len(g.corners()) == 5 * 3
+
+    def test_cell_corners(self):
+        g = TileGrid(2, 2)
+        assert g.cell_corners((0, 0)) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_out_of_grid_cell_rejected(self):
+        g = TileGrid(2, 2)
+        with pytest.raises(FloorplanError):
+            g.cell_corners((5, 0))
+
+    def test_corner_cells_interior(self):
+        g = TileGrid(3, 3)
+        # An interior corner touches four tiles.
+        assert len(g.corner_cells((1, 1))) == 4
+
+    def test_corner_cells_boundary(self):
+        g = TileGrid(3, 3)
+        assert len(g.corner_cells((0, 0))) == 1
+        assert len(g.corner_cells((3, 0))) == 1
+        assert len(g.corner_cells((1, 0))) == 2
+
+    def test_touches(self):
+        g = TileGrid(2, 2)
+        assert g.touches((0, 0), (1, 1))
+        assert not g.touches((0, 0), (2, 2))
+
+
+class TestManhattan:
+    def test_colocated_corners_cost_zero(self):
+        # "Physically adjacent switches" (shared corner region) consume
+        # zero link area, per Section 4.1.
+        assert manhattan((1, 1), (1, 1)) == 0
+
+    def test_mesh_neighbours_cost_one(self):
+        assert manhattan((0, 0), (1, 0)) == 1
+
+    def test_far_corners(self):
+        assert manhattan((0, 0), (2, 3)) == 5

@@ -1,0 +1,96 @@
+"""End-to-end integration: program -> trace -> pattern -> synthesis ->
+floorplan -> simulation, with cross-layer invariants."""
+
+import pytest
+
+from repro.floorplan import place
+from repro.model import CliqueAnalysis, check_contention_free
+from repro.simulator import SimConfig, simulate
+from repro.synthesis import DesignConstraints, generate_network
+from repro.topology import check_routes_valid, crossbar, mesh_for
+from repro.workloads import (
+    PhaseProgramBuilder,
+    bt,
+    cg,
+    extract_pattern,
+    trace_program,
+)
+
+
+@pytest.fixture(scope="module")
+def cg8_design():
+    bench = cg(8)
+    return bench, generate_network(bench.pattern, seed=0, restarts=4)
+
+
+class TestFullPipeline:
+    def test_pattern_extraction_matches_program_structure(self):
+        bench = cg(8)
+        trace = trace_program(bench.program)
+        pattern = extract_pattern(trace)
+        assert pattern.communications == bench.pattern.communications
+
+    def test_generated_network_is_contention_free(self, cg8_design):
+        bench, design = cg8_design
+        cert = check_contention_free(bench.pattern, design.topology.routing)
+        assert cert.contention_free
+
+    def test_generated_routes_are_walkable(self, cg8_design):
+        bench, design = cg8_design
+        check_routes_valid(
+            design.network, design.topology.routing, bench.pattern.communications
+        )
+
+    def test_floorplan_then_simulate(self, cg8_design):
+        bench, design = cg8_design
+        plan = place(design.network, seed=0)
+        result = simulate(
+            bench.program,
+            design.topology,
+            SimConfig(max_cycles=5_000_000),
+            link_delays=plan.link_delays(),
+        )
+        assert result.delivered_packets == bench.program.total_messages
+        assert result.deadlocks_detected == 0
+
+    def test_generated_tracks_crossbar(self, cg8_design):
+        """The central performance claim at small scale: the generated
+        network performs within a few percent of the ideal crossbar."""
+        bench, design = cg8_design
+        cfg = SimConfig(max_cycles=5_000_000)
+        plan = place(design.network, seed=0)
+        gen = simulate(bench.program, design.topology, cfg, link_delays=plan.link_delays())
+        xbar = simulate(bench.program, crossbar(8), cfg)
+        assert gen.execution_cycles <= 1.10 * xbar.execution_cycles
+
+    def test_contention_free_pattern_needs_no_retransmissions(self, cg8_design):
+        bench, design = cg8_design
+        result = simulate(bench.program, design.topology, SimConfig(max_cycles=5_000_000))
+        assert result.retransmissions == 0
+
+
+class TestBT9Pipeline:
+    def test_bt9_full_stack(self):
+        bench = bt(9, iterations=1)
+        design = generate_network(bench.pattern, seed=0, restarts=4)
+        assert design.certificate.contention_free
+        assert design.network.max_degree() <= 5
+        result = simulate(bench.program, design.topology, SimConfig(max_cycles=5_000_000))
+        assert result.delivered_packets == bench.program.total_messages
+
+
+class TestConstraintPropagation:
+    def test_tighter_constraint_reaches_final_network(self):
+        builder = PhaseProgramBuilder(6, "tiny", seed=0)
+        builder.phase([(0, 1, 64), (2, 3, 64), (4, 5, 64)])
+        builder.phase([(1, 2, 64), (3, 4, 64), (5, 0, 64)])
+        pattern = extract_pattern(builder.build())
+        design = generate_network(
+            pattern, constraints=DesignConstraints(max_degree=3), seed=0
+        )
+        assert design.network.max_degree() <= 3
+
+    def test_mesh_baseline_runs_same_program(self):
+        bench = cg(8, iterations=1)
+        result = simulate(bench.program, mesh_for(8), SimConfig(max_cycles=5_000_000))
+        assert result.delivered_packets == bench.program.total_messages

@@ -1,0 +1,200 @@
+"""Unit tests for contention periods and clique sets (Definition 5)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import (
+    CliqueAnalysis,
+    Communication,
+    CommunicationPattern,
+    Message,
+    clique_set,
+    contention_periods,
+    describe_periods,
+    maximum_clique_set,
+    potential_contention_set,
+)
+
+from tests.fixtures import figure1_pattern, paper_period3_clique
+
+
+def _msg(s, d, lo, hi):
+    return Message(source=s, dest=d, t_start=lo, t_finish=hi)
+
+
+def _c(s, d):
+    return Communication(s, d)
+
+
+class TestContentionPeriods:
+    def test_empty_pattern_has_no_periods(self):
+        p = CommunicationPattern(messages=(), num_processes=2)
+        assert contention_periods(p) == []
+
+    def test_single_message_single_period(self):
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 2)])
+        periods = contention_periods(p)
+        assert len(periods) == 1
+        assert periods[0].clique == {_c(0, 1)}
+        assert (periods[0].t_start, periods[0].t_end) == (0, 2)
+
+    def test_staggered_messages_make_three_periods(self):
+        # a: [0,2], b: [1,3] -> periods {a}, {a,b}, {b}.
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 2), _msg(2, 3, 1, 3)])
+        cliques = [per.clique for per in contention_periods(p)]
+        assert cliques == [
+            frozenset({_c(0, 1)}),
+            frozenset({_c(0, 1), _c(2, 3)}),
+            frozenset({_c(2, 3)}),
+        ]
+
+    def test_gap_between_messages_yields_no_empty_period(self):
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 1), _msg(2, 3, 5, 6)])
+        periods = contention_periods(p)
+        assert [per.clique for per in periods] == [
+            frozenset({_c(0, 1)}),
+            frozenset({_c(2, 3)}),
+        ]
+
+    def test_instantaneous_message_is_covered(self):
+        p = CommunicationPattern.from_messages([_msg(0, 1, 1, 1), _msg(2, 3, 0, 2)])
+        cliques = {per.clique for per in contention_periods(p)}
+        assert frozenset({_c(0, 1), _c(2, 3)}) in cliques
+
+    def test_describe_periods_is_readable(self):
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 1)])
+        text = describe_periods(contention_periods(p))
+        assert "period 1" in text
+        assert "(0,1)" in text
+
+
+class TestMaximumCliqueSet:
+    def test_subset_cliques_are_removed(self):
+        small = frozenset({_c(0, 1), _c(1, 2)})
+        big = frozenset({_c(0, 1), _c(1, 2), _c(2, 3)})
+        assert maximum_clique_set([small, big]) == (big,)
+
+    def test_incomparable_cliques_are_both_kept(self):
+        a = frozenset({_c(0, 1), _c(1, 2)})
+        b = frozenset({_c(2, 3), _c(3, 4)})
+        assert set(maximum_clique_set([a, b])) == {a, b}
+
+    def test_duplicates_collapse(self):
+        a = frozenset({_c(0, 1)})
+        assert maximum_clique_set([a, a, a]) == (a,)
+
+    def test_deterministic_order_largest_first(self):
+        a = frozenset({_c(0, 1)})
+        b = frozenset({_c(2, 3), _c(3, 4)})
+        assert maximum_clique_set([a, b]) == (b, a)
+
+    @given(
+        st.lists(
+            st.frozensets(
+                st.sampled_from([_c(0, 1), _c(1, 2), _c(2, 3), _c(3, 4), _c(4, 5)]),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_every_input_clique_is_covered(self, cliques):
+        """Each original clique is a subset of some retained maximal clique."""
+        maximal = maximum_clique_set(cliques)
+        for c in cliques:
+            assert any(c <= m for m in maximal)
+        # And no retained clique covers another.
+        for m1 in maximal:
+            for m2 in maximal:
+                assert m1 == m2 or not (m1 < m2)
+
+
+class TestFigure1:
+    def test_three_contention_periods(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert len(analysis.periods) == 3
+        assert len(analysis.max_cliques) == 3
+
+    def test_period3_matches_paper_clique(self):
+        """The transpose period equals the clique printed in Section 2.2."""
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert analysis.periods[2].clique == paper_period3_clique()
+
+    def test_largest_clique_is_the_reduction_phase(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert analysis.largest_clique_size == 16
+
+    def test_cliques_containing(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        # Communication (8,9) (paper's (9,10)) only occurs in the first
+        # reduction phase.
+        hits = analysis.cliques_containing(_c(8, 9))
+        assert len(hits) == 1
+
+    def test_contention_events_match_direct_computation(self):
+        pattern = figure1_pattern()
+        analysis = CliqueAnalysis.of(pattern)
+        assert analysis.contention_events() == potential_contention_set(pattern)
+
+    def test_conflicting_pairs_by_comm(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        rivals = analysis.conflicting_pairs_by_comm()
+        # In the transpose phase, (1,4) conflicts with the 11 other
+        # transpose communications.
+        assert len(rivals[_c(1, 4)] & paper_period3_clique()) == 11
+
+
+class TestCliqueSetInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=6),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_every_message_is_in_some_clique(self, raw):
+        msgs = [
+            _msg(s, d, float(lo), float(lo + dur))
+            for s, d, lo, dur in raw
+            if s != d
+        ]
+        if not msgs:
+            return
+        p = CommunicationPattern.from_messages(msgs, num_processes=5)
+        cliques = clique_set(p)
+        union = set()
+        for c in cliques:
+            union |= c
+        assert union == p.communications
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=6),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_cliques_really_are_cliques_of_the_overlap_relation(self, raw):
+        """Every pair inside a period's clique must overlap in time."""
+        msgs = [
+            _msg(s, d, float(lo), float(lo + dur))
+            for s, d, lo, dur in raw
+            if s != d
+        ]
+        if not msgs:
+            return
+        p = CommunicationPattern.from_messages(msgs, num_processes=5)
+        events = potential_contention_set(p)
+        analysis = CliqueAnalysis.of(p)
+        assert analysis.contention_events() <= events

@@ -1,0 +1,134 @@
+"""Unit tests for the time-conflict model (Definitions 3 and 4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import (
+    Communication,
+    CommunicationPattern,
+    ContentionEvent,
+    Message,
+    contention_degree,
+    overlap_pairs,
+    potential_contention_set,
+)
+
+
+def _msg(s, d, lo, hi):
+    return Message(source=s, dest=d, t_start=lo, t_finish=hi)
+
+
+class TestContentionEvent:
+    def test_canonical_order(self):
+        a = Communication(5, 6)
+        b = Communication(1, 2)
+        e = ContentionEvent.of(a, b)
+        assert e.first == b
+        assert e.second == a
+
+    def test_order_independence(self):
+        a = Communication(5, 6)
+        b = Communication(1, 2)
+        assert ContentionEvent.of(a, b) == ContentionEvent.of(b, a)
+
+    def test_as_4tuple(self):
+        e = ContentionEvent.of(Communication(1, 2), Communication(3, 4))
+        assert e.as_4tuple == (1, 2, 3, 4)
+
+    def test_involves(self):
+        e = ContentionEvent.of(Communication(1, 2), Communication(3, 4))
+        assert e.involves(Communication(1, 2))
+        assert not e.involves(Communication(2, 1))
+
+
+class TestOverlapPairs:
+    def test_sequential_messages_produce_no_pairs(self):
+        p = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 1), _msg(1, 2, 2, 3), _msg(2, 3, 4, 5)]
+        )
+        assert list(overlap_pairs(p)) == []
+
+    def test_all_concurrent_messages_pair_up(self):
+        p = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 10), _msg(1, 2, 0, 10), _msg(2, 3, 0, 10)]
+        )
+        assert len(list(overlap_pairs(p))) == 3  # C(3, 2)
+
+    def test_touching_intervals_pair(self):
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 1), _msg(1, 2, 1, 2)])
+        assert len(list(overlap_pairs(p))) == 1
+
+    def test_chain_of_overlaps_is_not_transitive(self):
+        # a overlaps b, b overlaps c, a does not overlap c.
+        p = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 2), _msg(1, 2, 1, 4), _msg(2, 3, 3, 5)]
+        )
+        pairs = {
+            (m1.communication, m2.communication) for m1, m2 in overlap_pairs(p)
+        }
+        assert (Communication(0, 1), Communication(1, 2)) in pairs
+        assert (Communication(1, 2), Communication(2, 3)) in pairs
+        assert len(pairs) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    def test_sweep_matches_quadratic_reference(self, raw):
+        """The sweep-line overlap enumeration must equal brute force."""
+        msgs = [
+            _msg(s, s + 1, float(lo), float(lo + dur)) for s, lo, dur in raw
+        ]
+        if not msgs:
+            return
+        p = CommunicationPattern.from_messages(msgs, num_processes=7)
+        swept = {frozenset([id(m1), id(m2)]) for m1, m2 in overlap_pairs(p)}
+        brute = {
+            frozenset([id(m1), id(m2)])
+            for i, m1 in enumerate(msgs)
+            for m2 in msgs[i + 1 :]
+            if m1.overlaps(m2)
+        }
+        assert swept == brute
+
+
+class TestPotentialContentionSet:
+    def test_excludes_same_communication_pairs(self):
+        # Two messages of the same (s, d) pair carry no routing freedom.
+        p = CommunicationPattern.from_messages([_msg(0, 1, 0, 5), _msg(0, 1, 1, 6)])
+        assert potential_contention_set(p) == frozenset()
+
+    def test_collects_distinct_pairs(self):
+        p = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 5), _msg(2, 3, 1, 6), _msg(4, 5, 10, 11)]
+        )
+        c = potential_contention_set(p)
+        assert c == {
+            ContentionEvent.of(Communication(0, 1), Communication(2, 3))
+        }
+
+    def test_repeated_phases_are_compressed(self):
+        # The same contention pattern occurring twice yields one event.
+        p = CommunicationPattern.from_messages(
+            [
+                _msg(0, 1, 0, 1), _msg(2, 3, 0, 1),
+                _msg(0, 1, 5, 6), _msg(2, 3, 5, 6),
+            ]
+        )
+        assert len(potential_contention_set(p)) == 1
+
+    def test_contention_degree_ranks_complexity(self):
+        simple = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 1), _msg(2, 3, 2, 3)]
+        )
+        complex_ = CommunicationPattern.from_messages(
+            [_msg(0, 1, 0, 1), _msg(2, 3, 0, 1), _msg(1, 2, 0, 1)]
+        )
+        assert contention_degree(simple) < contention_degree(complex_)

@@ -1,0 +1,64 @@
+"""Tests for pattern serialization."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.model import read_pattern, write_pattern
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+class TestRoundTrip:
+    def test_figure1_round_trips(self, tmp_path):
+        original = figure1_pattern()
+        path = tmp_path / "cg.json"
+        write_pattern(original, path)
+        loaded = read_pattern(path)
+        assert loaded == original
+
+    def test_sizes_and_tags_preserved(self, tmp_path):
+        p = pattern_from_phases([[(0, 1)]], num_processes=2, size_bytes=777)
+        path = tmp_path / "p.json"
+        write_pattern(p, path)
+        loaded = read_pattern(path)
+        assert loaded.messages[0].size_bytes == 777
+        assert loaded.messages[0].tag == "phase0"
+
+
+class TestErrors:
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PatternError):
+            read_pattern(path)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text('{"format": 9, "messages": []}')
+        with pytest.raises(PatternError):
+            read_pattern(path)
+
+    def test_malformed_records_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(
+            '{"format": 1, "name": "x", "num_processes": 2, '
+            '"messages": [{"source": 0}]}'
+        )
+        with pytest.raises(PatternError):
+            read_pattern(path)
+
+    def test_non_dict_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PatternError):
+            read_pattern(path)
+
+
+class TestSynthesisFromFile:
+    def test_saved_pattern_drives_synthesis(self, tmp_path):
+        from repro.synthesis import generate_network
+
+        path = tmp_path / "app.json"
+        write_pattern(pattern_from_phases([[(0, 1), (2, 3)]], 4), path)
+        design = generate_network(read_pattern(path), seed=0, restarts=1)
+        assert design.certificate.contention_free

@@ -1,0 +1,106 @@
+"""Unit tests for messages and communications (Definitions 2 and 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.model import Communication, Message
+
+
+class TestCommunication:
+    def test_holds_endpoints(self):
+        c = Communication(3, 7)
+        assert c.source == 3
+        assert c.dest == 7
+
+    def test_reversed_swaps_endpoints(self):
+        assert Communication(3, 7).reversed == Communication(7, 3)
+
+    def test_is_hashable_and_comparable(self):
+        assert len({Communication(1, 2), Communication(1, 2)}) == 1
+        assert Communication(1, 2) < Communication(1, 3) < Communication(2, 0)
+
+    def test_rejects_self_message(self):
+        with pytest.raises(PatternError):
+            Communication(4, 4)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(PatternError):
+            Communication(-1, 2)
+        with pytest.raises(PatternError):
+            Communication(1, -2)
+
+    def test_str_matches_paper_notation(self):
+        assert str(Communication(2, 5)) == "(2,5)"
+
+
+class TestMessage:
+    def test_communication_property(self):
+        m = Message(source=0, dest=1, t_start=0.0, t_finish=1.0)
+        assert m.communication == Communication(0, 1)
+
+    def test_duration(self):
+        m = Message(source=0, dest=1, t_start=2.0, t_finish=5.5)
+        assert m.duration == pytest.approx(3.5)
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(PatternError):
+            Message(source=0, dest=1, t_start=2.0, t_finish=1.0)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(PatternError):
+            Message(source=0, dest=1, t_start=0.0, t_finish=1.0, size_bytes=0)
+
+    def test_zero_duration_message_allowed(self):
+        m = Message(source=0, dest=1, t_start=1.0, t_finish=1.0)
+        assert m.duration == 0.0
+
+
+class TestOverlap:
+    def _msg(self, lo, hi):
+        return Message(source=0, dest=1, t_start=lo, t_finish=hi)
+
+    def test_disjoint_intervals_do_not_overlap(self):
+        assert not self._msg(0, 1).overlaps(self._msg(2, 3))
+        assert not self._msg(2, 3).overlaps(self._msg(0, 1))
+
+    def test_touching_endpoints_overlap(self):
+        # Definition 3 uses closed intervals: T_f(m1) == T_s(m2) overlaps.
+        assert self._msg(0, 1).overlaps(self._msg(1, 2))
+
+    def test_containment_overlaps(self):
+        assert self._msg(0, 10).overlaps(self._msg(3, 4))
+        assert self._msg(3, 4).overlaps(self._msg(0, 10))
+
+    def test_partial_overlap(self):
+        assert self._msg(0, 5).overlaps(self._msg(3, 8))
+
+    @given(
+        a=st.floats(min_value=0, max_value=100, allow_nan=False),
+        b=st.floats(min_value=0, max_value=100, allow_nan=False),
+        c=st.floats(min_value=0, max_value=100, allow_nan=False),
+        d=st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_overlap_is_symmetric(self, a, b, c, d):
+        m1 = self._msg(min(a, b), max(a, b))
+        m2 = self._msg(min(c, d), max(c, d))
+        assert m1.overlaps(m2) == m2.overlaps(m1)
+
+    @given(
+        a=st.floats(min_value=0, max_value=100, allow_nan=False),
+        b=st.floats(min_value=0, max_value=100, allow_nan=False),
+        c=st.floats(min_value=0, max_value=100, allow_nan=False),
+        d=st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_overlap_matches_definition3_disjunction(self, a, b, c, d):
+        """The interval test must equal the paper's four-way disjunction."""
+        m1 = self._msg(min(a, b), max(a, b))
+        m2 = self._msg(min(c, d), max(c, d))
+        definition3 = (
+            (m2.t_start <= m1.t_start <= m2.t_finish)
+            or (m2.t_start <= m1.t_finish <= m2.t_finish)
+            or (m1.t_start <= m2.t_start <= m1.t_finish)
+            or (m1.t_start <= m2.t_finish <= m1.t_finish)
+        )
+        assert m1.overlaps(m2) == definition3

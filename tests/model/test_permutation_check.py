@@ -1,0 +1,64 @@
+"""Tests for the partial-permutation precondition (Definition 5's
+observation, enforced by the synthesizer)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.model import Communication, permutation_violations
+from repro.synthesis import generate_network
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+def _c(s, d):
+    return Communication(s, d)
+
+
+class TestPermutationViolations:
+    def test_partial_permutation_passes(self):
+        clique = frozenset({_c(0, 1), _c(2, 3)})
+        assert permutation_violations([clique]) == []
+
+    def test_full_permutation_passes(self):
+        clique = frozenset({_c(0, 1), _c(1, 2), _c(2, 0)})
+        assert permutation_violations([clique]) == []
+
+    def test_duplicate_source_flagged(self):
+        clique = frozenset({_c(0, 1), _c(0, 2)})
+        violations = permutation_violations([clique])
+        assert len(violations) == 1
+        assert "send more than once" in violations[0][1]
+
+    def test_duplicate_dest_flagged(self):
+        clique = frozenset({_c(1, 0), _c(2, 0)})
+        violations = permutation_violations([clique])
+        assert "receive more than once" in violations[0][1]
+
+    def test_figure1_is_clean(self):
+        from repro.model import CliqueAnalysis
+
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert permutation_violations(analysis.max_cliques) == []
+
+
+class TestSynthesizerRejection:
+    def test_broadcast_in_one_period_rejected_with_guidance(self):
+        pattern = pattern_from_phases(
+            [[(0, 1), (0, 2), (0, 3)]], num_processes=4, name="bcast"
+        )
+        with pytest.raises(SynthesisError, match="partial permutation"):
+            generate_network(pattern, seed=0, restarts=1)
+
+    def test_fan_in_rejected(self):
+        pattern = pattern_from_phases(
+            [[(1, 0), (2, 0)]], num_processes=3, name="fanin"
+        )
+        with pytest.raises(SynthesisError, match="receive more than once"):
+            generate_network(pattern, seed=0, restarts=1)
+
+    def test_staged_broadcast_accepted(self):
+        pattern = pattern_from_phases(
+            [[(0, 1)], [(0, 2), (1, 3)]], num_processes=4, name="tree"
+        )
+        design = generate_network(pattern, seed=0, restarts=1)
+        assert design.certificate.contention_free

@@ -1,0 +1,94 @@
+"""Integration tests for Theorem 1 across model + topology layers."""
+
+from repro.model import (
+    Communication,
+    CommunicationPattern,
+    Message,
+    check_contention_free,
+    network_resource_conflict_set,
+    potential_contention_set,
+    shared_links,
+)
+from repro.topology import crossbar, fully_connected, mesh
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+def _msg(s, d, lo, hi):
+    return Message(source=s, dest=d, t_start=lo, t_finish=hi)
+
+
+class TestConflictSet:
+    def test_crossbar_conflicts_only_on_endpoint_links(self):
+        top = crossbar(4)
+        comms = [Communication(0, 1), Communication(2, 3), Communication(0, 3)]
+        r = network_resource_conflict_set(top.routing, comms)
+        # (0,1)/(0,3) share processor 0's injection link; (0,3)/(2,3)
+        # share processor 3's ejection link.  (0,1)/(2,3) are disjoint.
+        assert {e.as_4tuple for e in r} == {(0, 1, 0, 3), (0, 3, 2, 3)}
+
+    def test_fully_connected_distinct_pairs_do_not_conflict(self):
+        top = fully_connected(6)
+        comms = [Communication(0, 1), Communication(2, 3), Communication(4, 5)]
+        assert network_resource_conflict_set(top.routing, comms) == frozenset()
+
+    def test_mesh_dor_conflict_detected(self):
+        top = mesh(4, 1)
+        # 0->3 and 1->2 both cross the middle link S1->S2.
+        comms = [Communication(0, 3), Communication(1, 2)]
+        r = network_resource_conflict_set(top.routing, comms)
+        assert len(r) == 1
+        witness = shared_links(top.routing, comms[0], comms[1])
+        assert witness  # the shared middle link
+
+    def test_opposite_directions_do_not_conflict(self):
+        top = mesh(4, 1)
+        comms = [Communication(0, 3), Communication(3, 0)]
+        assert network_resource_conflict_set(top.routing, comms) == frozenset()
+
+
+class TestTheorem1:
+    def test_crossbar_is_contention_free_for_figure1(self):
+        pattern = figure1_pattern()
+        cert = check_contention_free(pattern, crossbar(16).routing)
+        assert cert.contention_free
+        assert cert.violations == ()
+        assert bool(cert)
+
+    def test_mesh_blocks_the_transpose_phase(self):
+        """A 4x4 DOR mesh cannot route the CG transpose without sharing
+        links among temporally-overlapping messages."""
+        pattern = figure1_pattern()
+        cert = check_contention_free(pattern, mesh(4, 4).routing)
+        assert not cert.contention_free
+        assert len(cert.violations) > 0
+
+    def test_sequential_pattern_is_contention_free_anywhere(self):
+        # One message at a time: C is empty, any network qualifies.
+        msgs = [_msg(i, (i + 1) % 4, 10 * i, 10 * i + 1) for i in range(4)]
+        pattern = CommunicationPattern.from_messages(msgs, num_processes=4)
+        assert potential_contention_set(pattern) == frozenset()
+        cert = check_contention_free(pattern, mesh(2, 2).routing)
+        assert cert.contention_free
+
+    def test_violation_reports_witness_links(self):
+        pattern = pattern_from_phases([[(0, 3), (1, 2)]], num_processes=4)
+        cert = check_contention_free(pattern, mesh(4, 1).routing)
+        assert not cert.contention_free
+        v = cert.violations[0]
+        assert "share" in str(v)
+        assert v.links  # names the shared link resources
+
+    def test_certificate_counts(self):
+        pattern = pattern_from_phases([[(0, 1), (2, 3)]], num_processes=4)
+        cert = check_contention_free(pattern, crossbar(4).routing)
+        assert cert.contention_set_size == 1
+        assert cert.conflict_set_size == 0
+
+    def test_mesh_contention_free_for_disjoint_neighbours(self):
+        # Neighbouring pairs on disjoint rows never share mesh links.
+        pattern = pattern_from_phases(
+            [[(0, 1), (2, 3)], [(1, 0), (3, 2)]], num_processes=4
+        )
+        cert = check_contention_free(pattern, mesh(2, 2).routing)
+        assert cert.contention_free

@@ -1,0 +1,105 @@
+"""Property-based tests of Theorem 1's machinery across layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    CommunicationPattern,
+    Message,
+    check_contention_free,
+    network_resource_conflict_set,
+    potential_contention_set,
+)
+from repro.topology import ShortestPathRouting, crossbar, fully_connected, mesh_for
+
+
+def _pattern(raw, n=6):
+    msgs = [
+        Message(source=s, dest=d, t_start=float(lo), t_finish=float(lo + dur))
+        for s, d, lo, dur in raw
+        if s != d
+    ]
+    if not msgs:
+        return None
+    return CommunicationPattern.from_messages(msgs, num_processes=n)
+
+
+small_messages = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=1, max_value=5),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestTheoremProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=small_messages)
+    def test_fully_connected_certificate_only_fails_on_endpoint_sharing(self, raw):
+        """On a fully-connected switch graph, paths share links only at
+        endpoints, so a violation implies two overlapping messages with
+        a shared source or destination."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        cert = check_contention_free(pattern, fully_connected(6).routing)
+        for violation in cert.violations:
+            a, b = violation.event.first, violation.event.second
+            assert a.source == b.source or a.dest == b.dest
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=small_messages)
+    def test_crossbar_matches_fully_connected_verdict(self, raw):
+        """Crossbar and fully-connected networks have identical sharing
+        structure (endpoint links only), so Theorem 1 must agree."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        xbar = check_contention_free(pattern, crossbar(6).routing)
+        full = check_contention_free(pattern, fully_connected(6).routing)
+        assert xbar.contention_free == full.contention_free
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=small_messages)
+    def test_mesh_never_beats_crossbar_on_contention(self, raw):
+        """Any violation on the crossbar (endpoint conflicts) also
+        exists on the mesh — a mesh path includes the same endpoint
+        links."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        xbar = check_contention_free(pattern, crossbar(6).routing)
+        msh = check_contention_free(pattern, mesh_for(6).routing)
+        xbar_events = {v.event for v in xbar.violations}
+        mesh_events = {v.event for v in msh.violations}
+        assert xbar_events <= mesh_events
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=small_messages)
+    def test_conflict_set_is_monotone_in_communications(self, raw):
+        """Adding communications can only grow R."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        routing = ShortestPathRouting(mesh_for(6).network)
+        comms = sorted(pattern.communications)
+        half = comms[: max(1, len(comms) // 2)]
+        r_half = network_resource_conflict_set(routing, half)
+        r_full = network_resource_conflict_set(routing, comms)
+        assert r_half <= r_full
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=small_messages)
+    def test_contention_set_invariant_under_message_order(self, raw):
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        shuffled = CommunicationPattern(
+            messages=tuple(reversed(pattern.messages)),
+            num_processes=pattern.num_processes,
+        )
+        assert potential_contention_set(pattern) == potential_contention_set(shuffled)

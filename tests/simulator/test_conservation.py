@@ -1,0 +1,86 @@
+"""Property tests: the simulator conserves messages and resources on
+randomly generated (but well-formed) programs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import Engine, SimConfig, simulate
+from repro.simulator.simulation import routing_policy_for
+from repro.topology import crossbar, mesh_for, torus_for
+from repro.workloads import PhaseProgramBuilder
+
+
+def _random_program(n, phase_perms, sizes):
+    builder = PhaseProgramBuilder(n, "rand")
+    for k, (shift, size) in enumerate(zip(phase_perms, sizes)):
+        builder.compute(20 * (k + 1))
+        builder.phase(
+            [(i, (i + shift) % n, size) for i in range(n) if (i + shift) % n != i]
+        )
+    return builder.build()
+
+
+program_strategy = st.tuples(
+    st.sampled_from([4, 6, 8]),
+    st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=4),
+    st.lists(st.integers(min_value=4, max_value=300), min_size=4, max_size=4),
+)
+
+
+class TestConservation:
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(args=program_strategy)
+    def test_every_message_delivered_exactly_once(self, args):
+        n, shifts, sizes = args
+        shifts = [s % n or 1 for s in shifts]
+        program = _random_program(n, shifts, sizes)
+        for top in (crossbar(n), mesh_for(n)):
+            result = simulate(program, top, SimConfig(max_cycles=3_000_000))
+            assert result.delivered_packets == program.total_messages
+            assert len(result.packet_latencies) == program.total_messages
+            assert all(lat >= 1 for lat in result.packet_latencies)
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(args=program_strategy)
+    def test_credits_fully_restored_after_drain(self, args):
+        """After every packet drains, each channel's credit count and VC
+        ownership must return to the initial state — leaked credits are
+        the classic flow-control bug."""
+        n, shifts, sizes = args
+        shifts = [s % n or 1 for s in shifts]
+        program = _random_program(n, shifts, sizes)
+        config = SimConfig(max_cycles=3_000_000)
+        top = torus_for(n)
+        engine = Engine(top, routing_policy_for(top), config)
+        from repro.simulator.process import ProcessReplay
+
+        replay = ProcessReplay(program, engine, config)
+        t = 0
+        replay.run_ready()
+        while (not replay.all_done() or engine.busy()) and t < config.max_cycles:
+            if engine.step(t):
+                replay.run_ready()
+            t += 1
+        assert replay.all_done()
+        for channel in engine.channels.values():
+            assert channel.credits == [channel.buffer_depth] * config.num_vcs
+            assert all(owner is None for owner in channel.owner)
+        assert engine.flits_in_network == 0
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(args=program_strategy, threshold=st.integers(min_value=50, max_value=200))
+    def test_delivery_holds_under_aggressive_recovery(self, args, threshold):
+        """Even with spuriously low deadlock thresholds (forcing kills
+        and retransmissions), every logical message arrives once."""
+        n, shifts, sizes = args
+        shifts = [s % n or 1 for s in shifts]
+        program = _random_program(n, shifts, sizes)
+        config = SimConfig(max_cycles=5_000_000, deadlock_threshold=threshold)
+        result = simulate(program, torus_for(n), config)
+        assert result.delivered_packets == program.total_messages

@@ -1,0 +1,141 @@
+"""Unit tests for channels, routers and NICs."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import SimConfig
+from repro.simulator.fabric import Channel, Nic, Router
+from repro.simulator.packet import Flit, Packet
+
+
+def _packet(pid=0, flits=3):
+    return Packet(
+        packet_id=pid,
+        source=0,
+        dest=1,
+        size_bytes=8,
+        num_flits=flits,
+        seq=0,
+        inject_cycle=0,
+    )
+
+
+def _channel(delay=1, config=None):
+    config = config or SimConfig()
+    return Channel.build(("link", 0, 0), ("router", 0), ("router", 1), delay, config)
+
+
+class TestChannel:
+    def test_build_initializes_credits(self):
+        cfg = SimConfig(num_vcs=3, vc_buffer_flits=4)
+        ch = _channel(config=cfg)
+        assert ch.credits == [4, 4, 4]
+        assert ch.owner == [None, None, None]
+
+    def test_long_links_get_round_trip_buffers(self):
+        """Buffer depth covers the credit round trip so long links keep
+        full bandwidth."""
+        cfg = SimConfig(vc_buffer_flits=4)
+        ch = _channel(delay=5, config=cfg)
+        assert ch.buffer_depth == 10
+        assert ch.credits[0] == 10
+
+    def test_zero_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            _channel(delay=0)
+
+    def test_free_vc_order(self):
+        ch = _channel()
+        assert ch.free_vc() == 0
+        ch.owner[0] = 7
+        assert ch.free_vc() == 1
+        ch.owner[1] = 8
+        ch.owner[2] = 9
+        assert ch.free_vc() is None
+
+    def test_busy_vcs(self):
+        ch = _channel()
+        assert ch.busy_vcs() == 0
+        ch.owner[1] = 3
+        assert ch.busy_vcs() == 1
+
+
+class TestRouter:
+    def _router(self):
+        cfg = SimConfig(num_vcs=2, vc_buffer_flits=2)
+        r = Router(0, cfg)
+        r.add_input(("link", 0, 0))
+        r.add_output(("link", 1, 0))
+        return r
+
+    def test_accept_buffers_flit(self):
+        r = self._router()
+        pkt = _packet()
+        r.accept(("link", 0, 0), 0, Flit(pkt, 0), depth=2)
+        assert r.inputs[("link", 0, 0)][0].front.is_head
+
+    def test_accept_overflow_raises(self):
+        r = self._router()
+        pkt = _packet()
+        r.accept(("link", 0, 0), 0, Flit(pkt, 0), depth=1)
+        with pytest.raises(SimulationError):
+            r.accept(("link", 0, 0), 0, Flit(pkt, 1), depth=1)
+
+    def test_active_vcs_lists_nonempty_only(self):
+        r = self._router()
+        assert r.active_vcs() == []
+        pkt = _packet()
+        r.accept(("link", 0, 0), 1, Flit(pkt, 0), depth=2)
+        active = r.active_vcs()
+        assert len(active) == 1
+        assert active[0][1] == 1  # vc index
+
+    def test_round_robin_arbitration(self):
+        r = self._router()
+        out = ("link", 1, 0)
+        assert r.arbitrate(out, [0, 1, 2]) == 0
+        assert r.arbitrate(out, [0, 1, 2]) == 1
+        assert r.arbitrate(out, [0, 1, 2]) == 2
+        assert r.arbitrate(out, [0, 1, 2]) == 0  # wraps
+
+    def test_arbitrate_empty_raises(self):
+        r = self._router()
+        with pytest.raises(SimulationError):
+            r.arbitrate(("link", 1, 0), [])
+
+
+class TestNic:
+    def test_queue_and_pending_cycles(self):
+        nic = Nic(0, ("inj", 0))
+        nic.enqueue(_packet(pid=1))
+        p2 = _packet(pid=2)
+        p2.inject_cycle = 50
+        nic.enqueue(p2)
+        assert sorted(nic.pending_inject_cycles()) == [0, 50]
+
+    def test_abort_stream_returns_vc(self):
+        nic = Nic(0, ("inj", 0))
+        pkt = _packet(pid=3)
+        nic.streaming = (pkt, 2)
+        assert nic.abort_stream(3) == 2
+        assert nic.streaming is None
+
+    def test_abort_stream_ignores_other_packets(self):
+        nic = Nic(0, ("inj", 0))
+        pkt = _packet(pid=3)
+        nic.streaming = (pkt, 2)
+        assert nic.abort_stream(99) is None
+        assert nic.streaming is not None
+
+
+class TestFlit:
+    def test_head_and_tail_flags(self):
+        pkt = _packet(flits=3)
+        assert Flit(pkt, 0).is_head
+        assert not Flit(pkt, 0).is_tail
+        assert Flit(pkt, 2).is_tail
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        pkt = _packet(flits=1)
+        f = Flit(pkt, 0)
+        assert f.is_head and f.is_tail

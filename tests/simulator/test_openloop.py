@@ -1,0 +1,103 @@
+"""Tests for open-loop synthetic traffic evaluation."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.openloop import (
+    LoadPoint,
+    hotspot_pattern,
+    latency_throughput_curve,
+    neighbor_pattern,
+    run_open_loop,
+    saturation_throughput,
+    transpose_pattern,
+    uniform_random,
+)
+from repro.topology import crossbar, mesh
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            src = rng.randrange(8)
+            assert uniform_random(src, 8, rng) != src
+
+    def test_uniform_covers_all_destinations(self):
+        rng = random.Random(1)
+        seen = {uniform_random(0, 8, rng) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_transpose_on_square(self):
+        rng = random.Random(0)
+        assert transpose_pattern(1, 16, rng) == 4
+        assert transpose_pattern(7, 16, rng) == 13
+
+    def test_transpose_diagonal_resamples(self):
+        rng = random.Random(0)
+        assert transpose_pattern(5, 16, rng) != 5
+
+    def test_neighbor(self):
+        rng = random.Random(0)
+        assert neighbor_pattern(7, 8, rng) == 0
+
+    def test_hotspot_bias(self):
+        rng = random.Random(0)
+        pattern = hotspot_pattern(hotspot=3, bias=1.0)
+        assert all(pattern(s, 8, rng) == 3 for s in range(8) if s != 3)
+
+
+class TestRunOpenLoop:
+    def test_low_load_has_low_latency(self):
+        point = run_open_loop(
+            crossbar(8), 0.05, warmup_cycles=200, measure_cycles=800
+        )
+        assert point.delivered > 0
+        assert not point.saturated
+        assert point.avg_latency < 100
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(SimulationError):
+            run_open_loop(crossbar(4), 0.0)
+
+    def test_latency_grows_with_load(self):
+        low = run_open_loop(mesh(4, 4), 0.1, measure_cycles=1000)
+        high = run_open_loop(mesh(4, 4), 0.8, measure_cycles=1000)
+        assert high.avg_latency > low.avg_latency
+
+    def test_accepted_tracks_offered_below_saturation(self):
+        point = run_open_loop(mesh(4, 4), 0.2, measure_cycles=1500)
+        assert point.accepted_flits_per_node_cycle == pytest.approx(
+            0.2, rel=0.35
+        )
+
+    def test_deterministic_by_seed(self):
+        a = run_open_loop(mesh(2, 2), 0.2, seed=5, measure_cycles=600)
+        b = run_open_loop(mesh(2, 2), 0.2, seed=5, measure_cycles=600)
+        assert a == b
+
+
+class TestCurve:
+    def test_curve_is_ordered_and_stops_on_saturation(self):
+        points = latency_throughput_curve(
+            mesh(2, 2), [0.05, 0.2], measure_cycles=600
+        )
+        assert [p.offered_flits_per_node_cycle for p in points] == [0.05, 0.2]
+
+    def test_saturation_throughput(self):
+        points = [
+            LoadPoint(0.1, 0.1, 10, 100, False),
+            LoadPoint(0.5, 0.42, 300, 400, True),
+        ]
+        assert saturation_throughput(points) == 0.42
+        assert saturation_throughput([]) == 0.0
+
+    def test_crossbar_latency_flat_under_load(self):
+        """The non-blocking crossbar's latency barely moves with load
+        (only endpoint serialization)."""
+        points = latency_throughput_curve(
+            crossbar(8), [0.05, 0.4], measure_cycles=800
+        )
+        assert points[-1].avg_latency < 3 * points[0].avg_latency

@@ -1,0 +1,99 @@
+"""Unit tests for the process-replay layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Engine, SimConfig
+from repro.simulator.process import ProcessReplay
+from repro.simulator.simulation import routing_policy_for
+from repro.topology import crossbar
+from repro.workloads.events import ComputeEvent, Program, RecvEvent, SendEvent
+
+
+def _replay(events, n=2, config=None):
+    config = config or SimConfig()
+    top = crossbar(n)
+    engine = Engine(top, routing_policy_for(top), config)
+    program = Program(name="t", num_processes=n, events=events)
+    return ProcessReplay(program, engine, config), engine
+
+
+class TestRunReady:
+    def test_compute_advances_virtual_time(self):
+        replay, _ = _replay(((ComputeEvent(123),), ()))
+        replay.run_ready()
+        assert replay.states[0].ready_at == 123
+        assert replay.all_done()
+
+    def test_send_costs_overhead_and_submits(self):
+        cfg = SimConfig(send_overhead=10)
+        replay, engine = _replay(
+            ((SendEvent(dest=1, size_bytes=8),), (RecvEvent(source=0),)),
+            config=cfg,
+        )
+        replay.run_ready()
+        assert replay.states[0].ready_at == 10
+        assert replay.states[0].comm_cycles == 10
+        assert engine.has_queued_packets()
+
+    def test_recv_blocks_until_delivery(self):
+        replay, engine = _replay(((), (RecvEvent(source=0),)))
+        replay.run_ready()
+        assert replay.states[1].blocked_on == (0, 0)
+        assert not replay.all_done()
+        # Simulate the delivery arriving at cycle 500.
+        replay._on_delivery(0, 1, 0, 500)
+        assert replay.states[1].blocked_on is None
+        assert replay.states[1].ready_at == 500 + replay.config.recv_overhead
+        replay.run_ready()
+        assert replay.all_done()
+
+    def test_early_delivery_consumed_without_blocking(self):
+        replay, _ = _replay(((), (ComputeEvent(1000), RecvEvent(source=0))))
+        # Delivery lands before the process reaches the receive.
+        replay._on_delivery(0, 1, 0, 50)
+        replay.run_ready()
+        state = replay.states[1]
+        assert state.blocked_on is None
+        # No waiting: message was already there.
+        assert state.wait_cycles == 0
+        assert state.ready_at == 1000 + replay.config.recv_overhead
+
+    def test_wait_time_accrued(self):
+        replay, _ = _replay(((), (RecvEvent(source=0),)))
+        replay.run_ready()
+        replay._on_delivery(0, 1, 0, 300)
+        assert replay.states[1].wait_cycles == 300
+
+    def test_sequence_matching_is_per_pair(self):
+        events = (
+            (SendEvent(dest=1, size_bytes=8), SendEvent(dest=1, size_bytes=8)),
+            (RecvEvent(source=0), RecvEvent(source=0)),
+        )
+        replay, _ = _replay(events)
+        replay.run_ready()
+        # Out-of-order delivery: seq 1 arrives first; the first receive
+        # (seq 0) must keep blocking.
+        replay._on_delivery(0, 1, 1, 100)
+        assert replay.states[1].blocked_on == (0, 0)
+        replay._on_delivery(0, 1, 0, 200)
+        replay.run_ready()
+        assert replay.all_done()
+
+    def test_execution_cycles_is_max(self):
+        replay, _ = _replay(((ComputeEvent(10),), (ComputeEvent(999),)))
+        replay.run_ready()
+        assert replay.execution_cycles() == 999
+
+    def test_blocked_summary_names_processes(self):
+        replay, _ = _replay(((), (RecvEvent(source=0),)))
+        replay.run_ready()
+        assert "process 1" in replay.blocked_summary()
+
+    def test_program_size_mismatch_rejected(self):
+        cfg = SimConfig()
+        top = crossbar(4)
+        engine = Engine(top, routing_policy_for(top), cfg)
+        program = Program(name="t", num_processes=2, events=((), ()))
+        with pytest.raises(SimulationError):
+            ProcessReplay(program, engine, cfg)

@@ -1,0 +1,123 @@
+"""Unit tests for the simulator's routing policies."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.simulator.packet import Packet
+from repro.simulator.routing import AdaptiveMinimal, BoundSourceRouted
+from repro.topology import mesh, torus
+
+
+def _packet(src, dst):
+    return Packet(
+        packet_id=0,
+        source=src,
+        dest=dst,
+        size_bytes=8,
+        num_flits=3,
+        seq=0,
+        inject_cycle=0,
+    )
+
+
+class TestBoundSourceRouted:
+    def test_prepare_attaches_hops_and_ejection(self):
+        top = mesh(4, 1)
+        routing = BoundSourceRouted(top.routing, top.network)
+        pkt = _packet(0, 3)
+        routing.prepare(pkt, top.network)
+        assert pkt.route_hops[-1] == ("ej", 3)
+        assert len(pkt.route_hops) == 4  # 3 links + ejection
+
+    def test_candidates_follow_route_order(self):
+        top = mesh(4, 1)
+        routing = BoundSourceRouted(top.routing, top.network)
+        pkt = _packet(0, 3)
+        routing.prepare(pkt, top.network)
+        s0 = top.network.switch_of(0)
+        first = routing.candidates(pkt, s0)
+        assert len(first) == 1
+        assert first[0][0] == "link"
+
+    def test_destination_switch_ejects(self):
+        top = mesh(4, 1)
+        routing = BoundSourceRouted(top.routing, top.network)
+        pkt = _packet(0, 3)
+        routing.prepare(pkt, top.network)
+        assert routing.candidates(pkt, pkt.dest_switch) == [("ej", 3)]
+
+    def test_stranded_packet_raises(self):
+        top = mesh(2, 2)
+        routing = BoundSourceRouted(top.routing, top.network)
+        pkt = _packet(0, 1)
+        routing.prepare(pkt, top.network)
+        # Switch 2 (processor 2's switch) is not on the 0 -> 1 route.
+        off_route = top.network.switch_of(2)
+        with pytest.raises(RoutingError):
+            routing.candidates(pkt, off_route)
+
+    def test_unprepared_packet_raises(self):
+        top = mesh(2, 2)
+        routing = BoundSourceRouted(top.routing, top.network)
+        with pytest.raises(RoutingError):
+            routing.candidates(_packet(0, 1), 0)
+
+
+class TestAdaptiveMinimal:
+    def test_needs_grid_topology(self):
+        from repro.topology import crossbar
+
+        with pytest.raises(RoutingError):
+            AdaptiveMinimal(crossbar(4))
+
+    def test_single_direction_when_aligned(self):
+        top = torus(4, 4)
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 1)  # (0,0) -> (1,0): one minimal x step
+        routing.prepare(pkt, top.network)
+        cands = routing.candidates(pkt, top.network.switch_of(0))
+        assert len(cands) == 1
+
+    def test_two_directions_on_diagonal(self):
+        top = torus(4, 4)
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 5)  # (0,0) -> (1,1): x or y first
+        routing.prepare(pkt, top.network)
+        cands = routing.candidates(pkt, top.network.switch_of(0))
+        assert len(cands) == 2
+
+    def test_tie_distance_offers_both_ways(self):
+        top = torus(4, 4)
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 2)  # (0,0) -> (2,0): +2 or -2, a wrap tie
+        routing.prepare(pkt, top.network)
+        cands = routing.candidates(pkt, top.network.switch_of(0))
+        assert len(cands) == 2
+
+    def test_wrap_shortcut_is_minimal(self):
+        top = torus(4, 4)
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 3)  # (0,0) -> (3,0): wrap is 1 hop
+        routing.prepare(pkt, top.network)
+        cands = routing.candidates(pkt, top.network.switch_of(0))
+        # The single minimal direction is the wraparound.
+        assert len(cands) == 1
+        link_id = cands[0][1]
+        link = top.network.link(link_id)
+        assert {top.coords[link.u][0], top.coords[link.v][0]} == {0, 3}
+
+    def test_destination_ejects(self):
+        top = torus(4, 4)
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 9)
+        routing.prepare(pkt, top.network)
+        assert routing.candidates(pkt, pkt.dest_switch) == [("ej", 9)]
+
+    def test_mesh_adaptive_has_no_wrap_candidates(self):
+        top = mesh(4, 4)
+        top.kind = "mesh"
+        routing = AdaptiveMinimal(top)
+        pkt = _packet(0, 3)
+        routing.prepare(pkt, top.network)
+        cands = routing.candidates(pkt, top.network.switch_of(0))
+        assert len(cands) == 1  # only +x, no wraparound exists

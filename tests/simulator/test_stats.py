@@ -1,0 +1,57 @@
+"""Tests for simulation statistics."""
+
+import pytest
+
+from repro.simulator import SimConfig
+from repro.simulator.stats import SimulationResult
+
+
+def _result(**overrides):
+    base = dict(
+        topology_name="mesh-2x2",
+        program_name="p",
+        execution_cycles=1000,
+        comm_cycles_per_process=(100, 300),
+        delivered_packets=4,
+        deadlocks_detected=0,
+        retransmissions=0,
+        flit_hops=64,
+        link_utilization={("link", 0, 0): 0.5},
+        config=SimConfig(),
+        packet_latencies=(10, 20, 30, 40),
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestDerivedStats:
+    def test_avg_and_max_comm(self):
+        r = _result()
+        assert r.avg_comm_cycles == 200.0
+        assert r.max_comm_cycles == 300
+
+    def test_comm_fraction(self):
+        assert _result().comm_fraction == pytest.approx(0.2)
+
+    def test_comm_fraction_zero_cycles(self):
+        assert _result(execution_cycles=0).comm_fraction == 0.0
+
+    def test_packet_latency_stats(self):
+        r = _result()
+        assert r.avg_packet_latency == 25.0
+        assert r.max_packet_latency == 40
+
+    def test_empty_latencies(self):
+        r = _result(packet_latencies=())
+        assert r.avg_packet_latency == 0.0
+        assert r.max_packet_latency == 0
+
+    def test_execution_us_uses_clock(self):
+        r = _result(config=SimConfig(clock_mhz=1000.0))
+        assert r.execution_us == pytest.approx(1.0)
+
+    def test_summary_mentions_key_facts(self):
+        text = _result().summary()
+        assert "mesh-2x2" in text
+        assert "0 deadlocks" in text
+        assert "4 messages" in text

@@ -1,0 +1,143 @@
+"""Unit and property tests for conflict-graph coloring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis import (
+    build_adjacency,
+    dsatur_coloring,
+    exact_coloring,
+    greedy_clique_lower_bound,
+    greedy_coloring,
+    is_proper_coloring,
+    num_colors,
+)
+from repro.synthesis.coloring import validate_adjacency
+
+
+def _cycle(n):
+    return build_adjacency(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def _clique(n):
+    return build_adjacency(
+        range(n), [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def _random_graph(draw_edges, n):
+    return build_adjacency(range(n), draw_edges)
+
+
+class TestBuildAdjacency:
+    def test_symmetric(self):
+        adj = build_adjacency([0, 1, 2], [(0, 1)])
+        assert adj[0] == {1}
+        assert adj[1] == {0}
+        assert adj[2] == set()
+        validate_adjacency(adj)
+
+    def test_self_loops_dropped(self):
+        adj = build_adjacency([0], [(0, 0)])
+        assert adj[0] == set()
+
+    def test_validate_rejects_asymmetry(self):
+        with pytest.raises(ValueError):
+            validate_adjacency({0: {1}, 1: set()})
+
+
+class TestGreedyAndDsatur:
+    def test_empty_graph(self):
+        assert greedy_coloring({}) == {}
+        assert dsatur_coloring({}) == {}
+        assert num_colors({}) == 0
+
+    def test_independent_set_uses_one_color(self):
+        adj = build_adjacency(range(5), [])
+        assert num_colors(dsatur_coloring(adj)) == 1
+
+    def test_clique_needs_n_colors(self):
+        adj = _clique(5)
+        coloring = dsatur_coloring(adj)
+        assert num_colors(coloring) == 5
+        assert is_proper_coloring(adj, coloring)
+
+    def test_even_cycle_two_colors(self):
+        adj = _cycle(8)
+        assert num_colors(dsatur_coloring(adj)) == 2
+
+    def test_odd_cycle_three_colors(self):
+        adj = _cycle(7)
+        coloring = dsatur_coloring(adj)
+        assert num_colors(coloring) == 3
+        assert is_proper_coloring(adj, coloring)
+
+    def test_greedy_respects_order(self):
+        adj = build_adjacency([0, 1, 2], [(0, 1), (1, 2)])
+        coloring = greedy_coloring(adj, order=[0, 2, 1])
+        assert coloring[0] == coloring[2] == 0
+        assert coloring[1] == 1
+
+
+class TestCliqueLowerBound:
+    def test_empty(self):
+        assert greedy_clique_lower_bound({}) == 0
+
+    def test_clique_found(self):
+        assert greedy_clique_lower_bound(_clique(6)) == 6
+
+    def test_triangle_in_sparse_graph(self):
+        adj = build_adjacency(range(5), [(0, 1), (1, 2), (0, 2), (3, 4)])
+        assert greedy_clique_lower_bound(adj) == 3
+
+
+class TestExactColoring:
+    def test_exact_on_odd_cycle(self):
+        k, coloring = exact_coloring(_cycle(9))
+        assert k == 3
+        assert is_proper_coloring(_cycle(9), coloring)
+
+    def test_exact_on_clique(self):
+        k, _ = exact_coloring(_clique(7))
+        assert k == 7
+
+    def test_exact_on_petersen_graph(self):
+        # Chromatic number of the Petersen graph is 3; DSATUR alone can
+        # return 3 here, but the exact solver must certify it.
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        adj = build_adjacency(range(10), outer + inner + spokes)
+        k, coloring = exact_coloring(adj)
+        assert k == 3
+        assert is_proper_coloring(adj, coloring)
+
+    def test_bipartite_double_star(self):
+        edges = [(0, i) for i in range(1, 6)] + [(6, i) for i in range(1, 6)]
+        adj = build_adjacency(range(7), edges)
+        k, _ = exact_coloring(adj)
+        assert k == 2
+
+    def test_falls_back_to_dsatur_above_limit(self):
+        adj = _cycle(10)
+        k, coloring = exact_coloring(adj, node_limit=4)
+        assert is_proper_coloring(adj, coloring)
+        assert k == num_colors(coloring)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        edges=st.sets(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20
+        ),
+    )
+    def test_exact_is_proper_and_not_worse_than_dsatur(self, n, edges):
+        adj = build_adjacency(range(n), [(a, b) for a, b in edges if a < b < n])
+        k, coloring = exact_coloring(adj)
+        assert is_proper_coloring(adj, coloring)
+        assert k == num_colors(coloring)
+        assert k <= num_colors(dsatur_coloring(adj))
+        assert k >= greedy_clique_lower_bound(adj)
+        if any(adj[v] for v in adj):
+            assert k >= 2

@@ -1,0 +1,61 @@
+"""Extra constraint-framework tests: pipe-width and per-switch caps."""
+
+import pytest
+
+from repro.model import CliqueAnalysis
+from repro.synthesis import DesignConstraints, SynthesisState, generate_network
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+class TestPipeWidthConstraint:
+    def test_wide_pipe_flagged(self):
+        # One period with 3 conflicting pairs crossing any bipartition
+        # of {0,1,2} vs {3,4,5} forces a wide pipe.
+        pattern = pattern_from_phases(
+            [[(0, 3), (1, 4), (2, 5)]], num_processes=6
+        )
+        state = SynthesisState.initial(CliqueAnalysis.of(pattern))
+        import random
+
+        sj = state._new_switch()
+        for p in (3, 4, 5):
+            state.switch_procs[0].discard(p)
+            state.switch_procs[sj].add(p)
+            state.proc_switch[p] = sj
+        for comm in state.comms:
+            state.set_route(comm, state._endpoint_adjusted(comm, (0,)))
+        wide = DesignConstraints(max_degree=10, max_pipe_width=2)
+        assert not wide.satisfied_by(state, 0)
+        loose = DesignConstraints(max_degree=10, max_pipe_width=3)
+        assert loose.satisfied_by(state, 0)
+
+    def test_generate_respects_pipe_width(self):
+        design = generate_network(
+            figure1_pattern(),
+            constraints=DesignConstraints(max_degree=5, max_pipe_width=1),
+            seed=0,
+            restarts=6,
+        )
+        for u, v in {(l.u, l.v) for l in design.network.links}:
+            assert len(design.network.links_between(u, v)) <= 1
+
+
+class TestProcessorCapConstraint:
+    def test_cap_limits_attachments(self):
+        design = generate_network(
+            figure1_pattern(),
+            constraints=DesignConstraints(
+                max_degree=5, max_processors_per_switch=2
+            ),
+            seed=0,
+            restarts=6,
+        )
+        for s in design.network.switches:
+            assert len(design.network.processors_of(s)) <= 2
+
+    def test_cap_violation_detected_on_megaswitch(self):
+        pattern = pattern_from_phases([[(0, 1)]], num_processes=4)
+        state = SynthesisState.initial(CliqueAnalysis.of(pattern))
+        constraints = DesignConstraints(max_degree=16, max_processors_per_switch=2)
+        assert constraints.violators(state) == (0,)

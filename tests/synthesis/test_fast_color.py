@@ -1,0 +1,147 @@
+"""Tests for the Fast_Color estimate, including the paper's Cut 1/Cut 2
+example (Section 3.1) and the lower-bound property against exact
+coloring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import CliqueAnalysis, Communication
+from repro.synthesis import (
+    build_conflict_graph,
+    conflict_edge_count,
+    exact_coloring,
+    fast_color,
+    fast_color_directional,
+)
+
+from tests.fixtures import figure1_pattern
+
+
+def _c(s, d):
+    return Communication(s, d)
+
+
+class TestFastColorBasics:
+    def test_empty_pipe_needs_no_links(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert fast_color(frozenset(), frozenset(), analysis.max_cliques) == 0
+
+    def test_single_communication_needs_one_link(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert fast_color({_c(8, 9)}, frozenset(), analysis.max_cliques) == 1
+
+    def test_direction_maximum_is_taken(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        fwd = {_c(1, 4), _c(2, 8)}  # both in the transpose clique
+        bwd = {_c(8, 9)}
+        assert fast_color(fwd, bwd, analysis.max_cliques) == 2
+
+    def test_non_conflicting_communications_share_a_link(self):
+        # (8,9) is phase-0 only, (8,10) is phase-1 only: never in the
+        # same clique, so one link suffices.
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        assert fast_color({_c(8, 9), _c(8, 10)}, frozenset(), analysis.max_cliques) == 1
+
+
+class TestPaperCut1Cut2:
+    """Section 3.1: Cut 1 needs four links, Cut 2 needs three.
+
+    Cut 1 splits the paper's nodes 1-8 from 9-16 (0-indexed: 0-7 vs
+    8-15); only transpose messages cross it, four per direction.  Cut 2
+    moves node 9 (0-indexed 8) to the first half; five messages then go
+    forward, but spread over three contention periods, so only three
+    links are needed.
+    """
+
+    def _crossing(self, group_a, analysis):
+        fwd, bwd = set(), set()
+        for clique in analysis.max_cliques:
+            for comm in clique:
+                if comm.source in group_a and comm.dest not in group_a:
+                    fwd.add(comm)
+                elif comm.source not in group_a and comm.dest in group_a:
+                    bwd.add(comm)
+        return fwd, bwd
+
+    def test_cut1_needs_four_links(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        group_a = set(range(8))  # paper nodes 1..8
+        fwd, bwd = self._crossing(group_a, analysis)
+        assert len(fwd) == 4 and len(bwd) == 4  # eight messages total
+        assert fast_color(fwd, bwd, analysis.max_cliques) == 4
+
+    def test_cut2_needs_three_links(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        group_a = set(range(8)) | {8}  # paper nodes 1..9
+        fwd, bwd = self._crossing(group_a, analysis)
+        assert len(fwd) + len(bwd) == 10  # ten messages cross Cut 2
+        assert fast_color(fwd, bwd, analysis.max_cliques) == 3
+
+    def test_cut2_forward_set_matches_paper_listing(self):
+        """The paper lists the five forward communications of Cut 2
+        (1-indexed): (9,10), (9,11), (8,14), (4,13), (7,10)."""
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        group_a = set(range(8)) | {8}
+        fwd, _ = self._crossing(group_a, analysis)
+        expected = {_c(8, 9), _c(8, 10), _c(7, 13), _c(3, 12), _c(6, 9)}
+        assert fwd == expected
+
+    def test_message_count_misleads_but_fast_color_does_not(self):
+        """More messages cross Cut 2 than Cut 1, yet Cut 2 needs fewer
+        links — the paper's central observation."""
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        cut1 = self._crossing(set(range(8)), analysis)
+        cut2 = self._crossing(set(range(8)) | {8}, analysis)
+        assert len(cut2[0]) + len(cut2[1]) > len(cut1[0]) + len(cut1[1])
+        assert fast_color(*cut2, analysis.max_cliques) < fast_color(
+            *cut1, analysis.max_cliques
+        )
+
+
+class TestLowerBoundProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        subset_seed=st.integers(min_value=0, max_value=2**20),
+        size=st.integers(min_value=0, max_value=20),
+    )
+    def test_fast_color_lower_bounds_exact_coloring(self, subset_seed, size):
+        """Fast_Color never exceeds the exact chromatic number of the
+        pipe's conflict graph (it is a clique-based lower bound)."""
+        import random
+
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        rng = random.Random(subset_seed)
+        comms = sorted(analysis.communications)
+        picked = frozenset(rng.sample(comms, min(size, len(comms))))
+        bound = fast_color_directional(picked, analysis.max_cliques)
+        adj = build_conflict_graph(picked, analysis.max_cliques)
+        exact_k, _ = exact_coloring(adj)
+        assert bound <= exact_k
+
+    def test_fast_color_exact_on_figure1_pipes(self):
+        """On Figure 1's cuts the bound is tight (paper Section 3.3)."""
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        for group in (set(range(8)), set(range(8)) | {8}):
+            fwd = {
+                c
+                for clique in analysis.max_cliques
+                for c in clique
+                if c.source in group and c.dest not in group
+            }
+            bound = fast_color_directional(fwd, analysis.max_cliques)
+            k, _ = exact_coloring(build_conflict_graph(fwd, analysis.max_cliques))
+            assert bound == k
+
+
+class TestConflictGraph:
+    def test_edges_only_within_cliques(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        comms = {_c(8, 9), _c(8, 10)}  # different phases: no edge
+        adj = build_conflict_graph(comms, analysis.max_cliques)
+        assert conflict_edge_count(adj) == 0
+
+    def test_transpose_pipe_conflicts(self):
+        analysis = CliqueAnalysis.of(figure1_pattern())
+        comms = {_c(1, 4), _c(2, 8), _c(3, 12)}  # all in the transpose clique
+        adj = build_conflict_graph(comms, analysis.max_cliques)
+        assert conflict_edge_count(adj) == 3

@@ -1,0 +1,82 @@
+"""Tests for multi-application synthesis."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.model import CliqueAnalysis, check_contention_free
+from repro.synthesis import generate_network_for_set, merge_patterns
+
+from tests.fixtures import pattern_from_phases
+
+
+def _app_a():
+    return pattern_from_phases(
+        [[(0, 1), (2, 3)], [(1, 2), (3, 0)]], num_processes=4, name="appA"
+    )
+
+
+def _app_b():
+    return pattern_from_phases(
+        [[(0, 2), (1, 3)], [(2, 0), (3, 1)]], num_processes=4, name="appB"
+    )
+
+
+class TestMergePatterns:
+    def test_merged_preserves_all_messages(self):
+        merged = merge_patterns([_app_a(), _app_b()])
+        assert len(merged) == len(_app_a()) + len(_app_b())
+
+    def test_applications_never_overlap_in_time(self):
+        merged = merge_patterns([_app_a(), _app_b()])
+        a_max = max(m.t_finish for m in merged if m.tag.startswith("appA"))
+        b_min = min(m.t_start for m in merged if m.tag.startswith("appB"))
+        assert a_max < b_min
+
+    def test_cliques_are_union_of_per_app_cliques(self):
+        merged = merge_patterns([_app_a(), _app_b()])
+        merged_cliques = set(CliqueAnalysis.of(merged).max_cliques)
+        per_app = set(CliqueAnalysis.of(_app_a()).max_cliques) | set(
+            CliqueAnalysis.of(_app_b()).max_cliques
+        )
+        assert merged_cliques == per_app
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(PatternError):
+            merge_patterns([])
+
+    def test_size_mismatch_rejected(self):
+        small = pattern_from_phases([[(0, 1)]], num_processes=2)
+        with pytest.raises(PatternError):
+            merge_patterns([_app_a(), small])
+
+    def test_merged_name(self):
+        assert merge_patterns([_app_a(), _app_b()]).name == "appA+appB"
+
+
+class TestGenerateForSet:
+    def test_network_serves_both_applications(self):
+        design = generate_network_for_set([_app_a(), _app_b()], seed=0, restarts=4)
+        for app in (_app_a(), _app_b()):
+            cert = check_contention_free(app, design.topology.routing)
+            assert cert.contention_free, app.name
+
+    def test_shared_network_costs_at_least_each_specialized_one(self):
+        from repro.synthesis import generate_network
+
+        shared = generate_network_for_set([_app_a(), _app_b()], seed=0, restarts=4)
+        for app in (_app_a(), _app_b()):
+            own = generate_network(app, seed=0, restarts=4)
+            assert shared.num_links >= own.num_links
+
+    def test_cg_and_fft_jointly(self):
+        """The cross-workload fix: one network serving both CG and FFT
+        contention-free (8-node configs keep the test fast; the 16-node
+        case runs in examples/multi_application.py)."""
+        from repro.workloads import cg, fft
+
+        cg_p = cg(8, iterations=1).pattern
+        fft_p = fft(8, iterations=1).pattern
+        design = generate_network_for_set([cg_p, fft_p], seed=0, restarts=8)
+        assert design.network.max_degree() <= 5
+        for p in (cg_p, fft_p):
+            assert check_contention_free(p, design.topology.routing).contention_free

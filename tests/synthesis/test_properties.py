@@ -1,0 +1,81 @@
+"""Property-based tests of the synthesis stack's core guarantee:
+whatever the (well-formed) pattern, the generated network is
+contention-free for it and within constraints."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.model import CliqueAnalysis, check_contention_free
+from repro.synthesis import DesignConstraints, generate_network
+from repro.topology import check_routes_valid
+from repro.workloads import random_permutation_pattern
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(min_value=4, max_value=8),
+    phases=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_generated_network_invariants(n, phases, seed):
+    """For random permutation workloads the generated design must (a)
+    satisfy Theorem 1, (b) respect the degree budget, (c) attach every
+    processor, and (d) install walkable routes."""
+    pattern = random_permutation_pattern(n, phases, seed=seed)
+    constraints = DesignConstraints(max_degree=5)
+    try:
+        design = generate_network(pattern, constraints=constraints, seed=0, restarts=6)
+    except SynthesisError:
+        # Dense random permutations can be infeasible at degree 5 —
+        # that is a legitimate outcome, not a bug.
+        return
+    assert design.certificate.contention_free
+    assert design.network.max_degree() <= 5
+    for p in range(n):
+        design.network.switch_of(p)  # raises if unattached
+    check_routes_valid(
+        design.network, design.topology.routing, pattern.communications
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    phases=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_certificate_agrees_with_model(n, phases, seed):
+    """The design's stored certificate equals an independent Theorem 1
+    check of the same pattern and routing."""
+    pattern = random_permutation_pattern(n, phases, seed=seed)
+    try:
+        design = generate_network(
+            pattern,
+            constraints=DesignConstraints(max_degree=8),
+            seed=0,
+            restarts=4,
+        )
+    except SynthesisError:
+        return
+    recheck = check_contention_free(pattern, design.topology.routing)
+    assert recheck.contention_free == design.certificate.contention_free
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_megaswitch_always_feasible_with_loose_constraints(seed):
+    """With a degree budget >= processor count, the crossbar trivially
+    satisfies the constraints and must be returned unpartitioned."""
+    pattern = random_permutation_pattern(6, 2, seed=seed)
+    design = generate_network(
+        pattern, constraints=DesignConstraints(max_degree=6), seed=0, restarts=1
+    )
+    assert design.num_switches == 1
+    assert design.num_links == 0
+    assert design.certificate.contention_free

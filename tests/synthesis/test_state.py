@@ -1,0 +1,192 @@
+"""Tests for the mutable synthesis state."""
+
+import random
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.model import CliqueAnalysis, Communication
+from repro.synthesis import SynthesisState, normalize_path
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+def _c(s, d):
+    return Communication(s, d)
+
+
+def _small_state():
+    """Four processors, two phases: a ring phase and a pairs phase."""
+    pattern = pattern_from_phases(
+        [[(0, 1), (1, 2), (2, 3), (3, 0)], [(0, 2), (1, 3)]],
+        num_processes=4,
+        name="small",
+    )
+    return SynthesisState.initial(CliqueAnalysis.of(pattern))
+
+
+class TestNormalizePath:
+    def test_identity_on_simple_path(self):
+        assert normalize_path([1, 2, 3]) == (1, 2, 3)
+
+    def test_collapses_consecutive_duplicates(self):
+        assert normalize_path([1, 1, 2, 2]) == (1, 2)
+
+    def test_splices_out_loops(self):
+        assert normalize_path([1, 2, 3, 2, 4]) == (1, 2, 4)
+
+    def test_cuts_back_to_first_occurrence(self):
+        assert normalize_path([5, 1, 2, 5, 3]) == (5, 3)
+
+
+class TestInitialState:
+    def test_megaswitch_holds_everyone(self):
+        state = _small_state()
+        assert state.switches == (0,)
+        assert state.switch_procs[0] == {0, 1, 2, 3}
+
+    def test_all_routes_are_internal(self):
+        state = _small_state()
+        for comm in state.comms:
+            assert state.route_of(comm) == (0,)
+
+    def test_no_pipes_initially(self):
+        state = _small_state()
+        assert state.pipes() == ()
+        assert state.total_links() == 0
+
+
+class TestSetRoute:
+    def test_pipe_membership_tracks_routes(self):
+        state = _small_state()
+        sj = state.split_switch(0, random.Random(0))
+        moved = sorted(state.switch_procs[sj])
+        # Some communication crosses the split; its route uses the pipe.
+        crossing = [
+            c
+            for c in state.comms
+            if (c.source in moved) != (c.dest in moved)
+        ]
+        assert crossing
+        for c in crossing:
+            path = state.route_of(c)
+            assert len(path) == 2
+            assert c in state.pipe_forward(path[0], path[1])
+
+    def test_set_route_rejects_wrong_endpoints(self):
+        state = _small_state()
+        state.split_switch(0, random.Random(0))
+        comm = state.comms[0]
+        with pytest.raises(SynthesisError):
+            state.set_route(comm, (99,))
+
+    def test_set_route_updates_pipe_sets(self):
+        state = _small_state()
+        sj = state.split_switch(0, random.Random(0))
+        crossing = next(
+            c
+            for c in state.comms
+            if len(state.route_of(c)) == 2
+        )
+        old = state.route_of(comm := crossing)
+        # Detour is impossible with two switches, so re-set the same
+        # route and confirm idempotence.
+        state.set_route(comm, old)
+        assert state.route_of(comm) == old
+
+
+class TestSplitSwitch:
+    def test_split_moves_half(self):
+        state = _small_state()
+        sj = state.split_switch(0, random.Random(7))
+        assert len(state.switch_procs[0]) == 2
+        assert len(state.switch_procs[sj]) == 2
+
+    def test_split_rejects_single_processor_switch(self):
+        pattern = pattern_from_phases([[(0, 1)]], num_processes=2)
+        state = SynthesisState.initial(CliqueAnalysis.of(pattern))
+        state.split_switch(0, random.Random(0))
+        for s in state.switches:
+            if len(state.switch_procs[s]) == 1:
+                with pytest.raises(SynthesisError):
+                    state.split_switch(s, random.Random(0))
+
+    def test_routes_remain_anchored_after_split(self):
+        state = SynthesisState.initial(CliqueAnalysis.of(figure1_pattern()))
+        state.split_switch(0, random.Random(3))
+        for comm in state.comms:
+            path = state.route_of(comm)
+            assert path[0] == state.switch_of(comm.source)
+            assert path[-1] == state.switch_of(comm.dest)
+            assert len(set(path)) == len(path)
+
+    def test_estimated_degree_counts_procs_and_pipes(self):
+        state = _small_state()
+        sj = state.split_switch(0, random.Random(0))
+        est = state.pipe_estimate(0, sj)
+        assert state.estimated_degree(0) == 2 + est
+        assert est >= 1
+
+
+class TestMoveProcessor:
+    def test_move_reanchors_routes(self):
+        state = _small_state()
+        sj = state.split_switch(0, random.Random(0))
+        p = sorted(state.switch_procs[0])[0]
+        state.move_processor(p, sj)
+        assert state.switch_of(p) == sj
+        for comm in state.comms:
+            if p in (comm.source, comm.dest):
+                path = state.route_of(comm)
+                assert path[0] == state.switch_of(comm.source)
+                assert path[-1] == state.switch_of(comm.dest)
+
+    def test_move_to_same_switch_is_noop(self):
+        state = _small_state()
+        before = state.snapshot()
+        state.move_processor(0, 0)
+        assert state.routes == before.routes
+
+    def test_move_to_unknown_switch_fails(self):
+        state = _small_state()
+        with pytest.raises(SynthesisError):
+            state.move_processor(0, 42)
+
+
+class TestSnapshotRestore:
+    def test_restore_round_trip(self):
+        state = _small_state()
+        snap = state.snapshot()
+        sj = state.split_switch(0, random.Random(1))
+        state.move_processor(sorted(state.switch_procs[0])[0], sj)
+        state.restore(snap)
+        assert state.switches == (0,)
+        assert state.switch_procs[0] == {0, 1, 2, 3}
+        assert all(state.route_of(c) == (0,) for c in state.comms)
+        assert state.total_links() == 0
+
+    def test_snapshot_is_immutable_by_later_changes(self):
+        state = _small_state()
+        snap = state.snapshot()
+        state.split_switch(0, random.Random(1))
+        assert snap.switch_procs[0] == {0, 1, 2, 3}
+
+
+class TestEstimates:
+    def test_figure1_split_estimates_match_fast_color(self):
+        """After any split of the CG pattern, the pipe estimate equals
+        the Fast_Color of the crossing sets."""
+        from repro.synthesis import fast_color
+
+        state = SynthesisState.initial(CliqueAnalysis.of(figure1_pattern()))
+        sj = state.split_switch(0, random.Random(11))
+        est = state.pipe_estimate(0, sj)
+        expected = fast_color(
+            state.pipe_forward(0, sj), state.pipe_forward(sj, 0), state.max_cliques
+        )
+        assert est == expected
+        assert est >= 1
+
+    def test_describe_contains_switches(self):
+        state = _small_state()
+        assert "S0" in state.describe()

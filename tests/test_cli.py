@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize"])
+
+    def test_synthesize_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["synthesize", "--benchmark", "cg", "--trace", "x.jsonl"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["synthesize", "--benchmark", "cg"])
+        assert args.nodes == 16
+        assert args.max_degree == 5
+
+
+class TestSynthesizeCommand:
+    def test_benchmark_synthesis_prints_network(self, capsys):
+        rc = main(
+            ["synthesize", "--benchmark", "cg", "--nodes", "8", "--restarts", "4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "contention-free: True" in out
+        assert "switches" in out
+
+    def test_floorplan_flag_renders(self, capsys):
+        rc = main(
+            [
+                "synthesize", "--benchmark", "cg", "--nodes", "8",
+                "--restarts", "4", "--floorplan",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "link area" in out
+        assert "at corner" in out
+
+    def test_trace_synthesis(self, tmp_path, capsys):
+        from repro.workloads import cg, write_trace
+
+        path = tmp_path / "cg.jsonl"
+        write_trace(cg(8, iterations=1).trace, path)
+        rc = main(["synthesize", "--trace", str(path), "--restarts", "4"])
+        assert rc == 0
+        assert "contention-free" in capsys.readouterr().out
+
+    def test_missing_trace_reports_error(self, capsys):
+        rc = main(["synthesize", "--trace", "/nonexistent/file.jsonl"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulate_mesh(self, capsys):
+        rc = main(
+            ["simulate", "--benchmark", "cg", "--nodes", "8", "--topology", "mesh"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cg-8 on mesh" in out
+        assert "deadlocks" in out
+
+
+class TestInfeasibleSynthesis:
+    def test_clean_error_message(self, capsys):
+        rc = main(
+            [
+                "synthesize", "--benchmark", "cg", "--nodes", "8",
+                "--max-degree", "2", "--restarts", "2",
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""The top-level package exposes the documented public API and the
+README quickstart flow works verbatim."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_flow(self):
+        app = repro.PhaseProgramBuilder(8, "my-accelerator")
+        app.compute(2000)
+        app.phase([(0, 1, 512), (2, 3, 512), (4, 5, 512), (6, 7, 512)])
+        app.compute(2000)
+        app.phase([(i, i ^ 4, 512) for i in range(8)])
+        program = app.build()
+
+        pattern = repro.extract_pattern(program)
+        design = repro.generate_network(
+            pattern, constraints=repro.DesignConstraints(max_degree=5), restarts=4
+        )
+        assert design.certificate.contention_free
+
+        result = repro.simulate(program, design.topology)
+        mesh_result = repro.simulate(program, repro.mesh_for(8))
+        assert result.delivered_packets == program.total_messages
+        assert result.execution_cycles <= 1.05 * mesh_result.execution_cycles
+
+    def test_pattern_files_round_trip(self, tmp_path):
+        bench = repro.benchmark("cg", 8)
+        path = tmp_path / "cg.json"
+        repro.write_pattern(bench.pattern, path)
+        assert repro.read_pattern(path) == bench.pattern

@@ -1,0 +1,95 @@
+"""Tests for the ASCII visualization helpers."""
+
+from repro.model import CommunicationPattern
+from repro.simulator import SimConfig, simulate
+from repro.topology import mesh
+from repro.viz import (
+    render_adjacency_matrix,
+    render_comm_matrix,
+    render_link_utilization,
+    render_pattern_timeline,
+)
+from repro.workloads import PhaseProgramBuilder, extract_pattern
+
+from tests.fixtures import figure1_pattern, pattern_from_phases
+
+
+class TestPatternTimeline:
+    def test_empty_pattern(self):
+        p = CommunicationPattern(messages=(), num_processes=2)
+        assert "empty" in render_pattern_timeline(p)
+
+    def test_mentions_every_early_message(self):
+        p = pattern_from_phases([[(0, 1), (2, 3)]], num_processes=4)
+        text = render_pattern_timeline(p)
+        assert "(0,1)" in text and "(2,3)" in text
+        assert "1 contention periods" in text
+
+    def test_truncates_long_patterns(self):
+        text = render_pattern_timeline(figure1_pattern(), max_rows=5)
+        assert "more messages" in text
+
+    def test_bars_reflect_phases(self):
+        p = pattern_from_phases([[(0, 1)], [(1, 0)]], num_processes=2)
+        text = render_pattern_timeline(p, width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        first, second = lines[0], lines[1]
+        # Phase-0 bar starts earlier than phase-1 bar.
+        assert first.index("#") < second.index("#")
+
+
+class TestAdjacencyMatrix:
+    def test_mesh_matrix_shape(self):
+        top = mesh(2, 2)
+        text = render_adjacency_matrix(top.network)
+        assert text.count("\n") == 4  # header + 4 switch rows
+        assert "S0" in text and "S3" in text
+
+    def test_parallel_links_counted(self):
+        from repro.topology import Network
+
+        net = Network(2)
+        a, b = net.add_switch(), net.add_switch()
+        net.attach_processor(0, a)
+        net.attach_processor(1, b)
+        net.add_link(a, b)
+        net.add_link(a, b)
+        assert "  2 " in render_adjacency_matrix(net)
+
+
+class TestCommMatrix:
+    def test_counts(self):
+        p = pattern_from_phases([[(0, 1)], [(0, 1)]], num_processes=2)
+        text = render_comm_matrix(p)
+        assert "2" in text
+
+    def test_zero_rendered_as_dot(self):
+        p = pattern_from_phases([[(0, 1)]], num_processes=2)
+        assert "." in render_comm_matrix(p)
+
+
+class TestUtilization:
+    def test_renders_hot_channels(self):
+        b = PhaseProgramBuilder(4, "u")
+        b.phase([(0, 3, 512)])
+        result = simulate(b.build(), mesh(4, 1), SimConfig())
+        text = render_link_utilization(result, top=3)
+        assert "%" in text
+        assert "hottest channels" in text
+
+    def test_empty_result(self):
+        b = PhaseProgramBuilder(2, "quiet")
+        b.compute(10)
+        result = simulate(b.build(), mesh(2, 1), SimConfig())
+        assert "(no traffic)" in render_link_utilization(result)
+
+
+class TestCliInspect:
+    def test_inspect_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["inspect", "--benchmark", "cg", "--nodes", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "contention periods" in out
+        assert "traffic matrix" in out

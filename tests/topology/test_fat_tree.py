@@ -1,0 +1,82 @@
+"""Tests for the fat-tree baseline topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.model import Communication
+from repro.topology import check_routes_valid, fat_tree
+
+
+class TestStructure:
+    def test_sixteen_node_default(self):
+        top = fat_tree(16)
+        # 4 leaves + 2 spines; every leaf linked to every spine.
+        assert top.network.num_switches == 6
+        assert top.network.num_links == 8
+
+    def test_leaf_degree(self):
+        top = fat_tree(16, leaf_size=4, num_spines=2)
+        for p in range(16):
+            leaf = top.network.switch_of(p)
+            assert top.network.degree(leaf) == 4 + 2
+
+    def test_spine_degree(self):
+        top = fat_tree(16, leaf_size=4, num_spines=2)
+        leaves = {top.network.switch_of(p) for p in range(16)}
+        spines = set(top.network.switches) - leaves
+        assert len(spines) == 2
+        for s in spines:
+            assert top.network.degree(s) == 4  # one link per leaf
+
+    def test_uneven_last_leaf(self):
+        top = fat_tree(10, leaf_size=4, num_spines=2)
+        assert top.network.num_switches == 3 + 2
+        top.network.validate()
+
+    def test_single_leaf_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(4, leaf_size=8)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(16, leaf_size=0)
+        with pytest.raises(TopologyError):
+            fat_tree(1)
+
+
+class TestRouting:
+    def test_intra_leaf_routes_stay_local(self):
+        top = fat_tree(16)
+        r = top.routing.route(Communication(0, 1))
+        assert r.num_hops == 0
+
+    def test_inter_leaf_routes_go_up_and_down(self):
+        top = fat_tree(16)
+        r = top.routing.route(Communication(0, 15))
+        assert r.num_hops == 2
+        assert len(r.switch_path) == 3
+
+    def test_spine_choice_spreads_flows(self):
+        top = fat_tree(16, num_spines=2)
+        spine_of = {}
+        for dst in (4, 5):
+            path = top.routing.route(Communication(0, dst)).switch_path
+            spine_of[dst] = path[1]
+        # (0+4) % 2 != (0+5) % 2: different spines.
+        assert spine_of[4] != spine_of[5]
+
+    def test_all_routes_valid(self):
+        top = fat_tree(12, leaf_size=4, num_spines=3)
+        comms = [
+            Communication(i, j) for i in range(12) for j in range(12) if i != j
+        ]
+        check_routes_valid(top.network, top.routing, comms)
+
+    def test_simulates(self):
+        from repro.simulator import SimConfig, simulate
+        from repro.workloads import PhaseProgramBuilder
+
+        b = PhaseProgramBuilder(16, "ft")
+        b.phase([(i, (i + 5) % 16, 128) for i in range(16)])
+        result = simulate(b.build(), fat_tree(16), SimConfig(max_cycles=2_000_000))
+        assert result.delivered_packets == 16

@@ -1,0 +1,161 @@
+"""Unit tests for the Network system graph."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Network, ejection_resource, injection_resource
+
+
+def _two_switch_net():
+    net = Network(4)
+    a = net.add_switch()
+    b = net.add_switch()
+    for p, s in [(0, a), (1, a), (2, b), (3, b)]:
+        net.attach_processor(p, s)
+    return net, a, b
+
+
+class TestConstruction:
+    def test_rejects_zero_processors(self):
+        with pytest.raises(TopologyError):
+            Network(0)
+
+    def test_add_switch_assigns_sequential_ids(self):
+        net = Network(2)
+        assert net.add_switch() == 0
+        assert net.add_switch() == 1
+
+    def test_attach_processor_out_of_range(self):
+        net = Network(2)
+        s = net.add_switch()
+        with pytest.raises(TopologyError):
+            net.attach_processor(5, s)
+
+    def test_attach_processor_twice_fails(self):
+        net = Network(2)
+        s = net.add_switch()
+        net.attach_processor(0, s)
+        with pytest.raises(TopologyError):
+            net.attach_processor(0, s)
+
+    def test_attach_to_missing_switch_fails(self):
+        net = Network(2)
+        with pytest.raises(TopologyError):
+            net.attach_processor(0, 99)
+
+    def test_self_loop_link_rejected(self):
+        net = Network(1)
+        s = net.add_switch()
+        with pytest.raises(TopologyError):
+            net.add_link(s, s)
+
+
+class TestLinks:
+    def test_parallel_links_allowed(self):
+        net, a, b = _two_switch_net()
+        l1 = net.add_link(a, b)
+        l2 = net.add_link(a, b)
+        assert l1 != l2
+        assert net.links_between(a, b) == (l1, l2)
+
+    def test_remove_link(self):
+        net, a, b = _two_switch_net()
+        l1 = net.add_link(a, b)
+        l2 = net.add_link(a, b)
+        net.remove_link(l1)
+        assert net.links_between(a, b) == (l2,)
+        net.remove_link(l2)
+        assert net.links_between(a, b) == ()
+        assert b not in net.neighbors(a)
+
+    def test_link_other_and_direction(self):
+        net, a, b = _two_switch_net()
+        lid = net.add_link(a, b)
+        link = net.link(lid)
+        assert link.other(a) == b
+        assert link.other(b) == a
+        assert link.direction_from(a) == 0
+        assert link.direction_from(b) == 1
+        assert link.resource(a) != link.resource(b)
+
+    def test_link_resource_of_non_endpoint_fails(self):
+        net, a, b = _two_switch_net()
+        c = net.add_switch()
+        lid = net.add_link(a, b)
+        with pytest.raises(TopologyError):
+            net.link(lid).resource(c)
+
+    def test_missing_link_lookup(self):
+        net = Network(1)
+        with pytest.raises(TopologyError):
+            net.link(0)
+
+
+class TestDegree:
+    def test_degree_counts_processors_and_links(self):
+        net, a, b = _two_switch_net()
+        net.add_link(a, b)
+        net.add_link(a, b)
+        # a: 2 processors + 2 link ports.
+        assert net.degree(a) == 4
+        assert net.degree(b) == 4
+        assert net.max_degree() == 4
+
+    def test_crossbar_degree_is_processor_count(self):
+        net = Network(5)
+        s = net.add_switch()
+        for p in range(5):
+            net.attach_processor(p, s)
+        assert net.degree(s) == 5
+
+
+class TestValidation:
+    def test_validate_passes_for_complete_network(self):
+        net, a, b = _two_switch_net()
+        net.add_link(a, b)
+        net.validate()
+
+    def test_validate_rejects_unattached_processor(self):
+        net = Network(2)
+        s = net.add_switch()
+        net.attach_processor(0, s)
+        with pytest.raises(TopologyError):
+            net.validate()
+
+    def test_validate_rejects_disconnected_switches(self):
+        net, a, b = _two_switch_net()
+        with pytest.raises(TopologyError):
+            net.validate()
+
+    def test_is_connected_single_switch(self):
+        net = Network(1)
+        net.add_switch()
+        assert net.is_connected()
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        net, a, b = _two_switch_net()
+        net.add_link(a, b)
+        dup = net.copy()
+        dup.add_link(a, b)
+        assert net.num_links == 1
+        assert dup.num_links == 2
+
+    def test_copy_preserves_attachments(self):
+        net, a, b = _two_switch_net()
+        dup = net.copy()
+        assert dup.switch_of(2) == b
+        assert dup.processors_of(a) == {0, 1}
+
+
+class TestResources:
+    def test_injection_and_ejection_are_distinct(self):
+        assert injection_resource(3) != ejection_resource(3)
+        assert injection_resource(3) != injection_resource(4)
+
+    def test_describe_mentions_every_switch(self):
+        net, a, b = _two_switch_net()
+        net.add_link(a, b)
+        text = net.describe()
+        assert f"S{a}" in text and f"S{b}" in text

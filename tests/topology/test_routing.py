@@ -1,0 +1,159 @@
+"""Unit tests for routing functions (Definition 6)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.model import Communication
+from repro.topology import (
+    DimensionOrderRouting,
+    Network,
+    ShortestPathRouting,
+    TableRouting,
+    check_routes_valid,
+    crossbar,
+    make_route,
+    mesh,
+    torus,
+)
+
+
+def _line_network(n_switches=3):
+    """Switch chain S0-S1-...; processor i on switch i."""
+    net = Network(n_switches)
+    switches = [net.add_switch() for _ in range(n_switches)]
+    for p, s in enumerate(switches):
+        net.attach_processor(p, s)
+    for u, v in zip(switches, switches[1:]):
+        net.add_link(u, v)
+    return net, switches
+
+
+class TestMakeRoute:
+    def test_route_resources_include_endpoints(self):
+        net, sw = _line_network()
+        r = make_route(net, Communication(0, 2), sw)
+        assert ("inj", 0) in r.resources
+        assert ("ej", 2) in r.resources
+        assert r.num_hops == 2
+
+    def test_route_records_directed_hops(self):
+        net, sw = _line_network()
+        fwd = make_route(net, Communication(0, 2), sw)
+        bwd = make_route(net, Communication(2, 0), list(reversed(sw)))
+        # Full-duplex: opposite directions are distinct resources.
+        assert not (set(fwd.hops) & set(bwd.hops))
+
+    def test_wrong_start_switch_rejected(self):
+        net, sw = _line_network()
+        with pytest.raises(RoutingError):
+            make_route(net, Communication(0, 2), [sw[1], sw[2]])
+
+    def test_missing_link_rejected(self):
+        net, sw = _line_network()
+        with pytest.raises(RoutingError):
+            make_route(net, Communication(0, 2), [sw[0], sw[2]])
+
+    def test_link_choice_pins_parallel_link(self):
+        net, sw = _line_network(2)
+        extra = net.add_link(sw[0], sw[1])
+        r = make_route(net, Communication(0, 1), sw[:2], link_choices={0: extra})
+        assert r.link_ids == (extra,)
+
+    def test_bad_link_choice_rejected(self):
+        net, sw = _line_network(3)
+        with pytest.raises(RoutingError):
+            make_route(net, Communication(0, 1), sw[:2], link_choices={0: 999})
+
+
+class TestTableRouting:
+    def test_lookup_and_footprint(self):
+        net, sw = _line_network()
+        r = make_route(net, Communication(0, 2), sw)
+        table = TableRouting([r])
+        assert table.route(Communication(0, 2)) is r
+        assert table(Communication(0, 2)) == r.resources
+
+    def test_missing_route_raises(self):
+        table = TableRouting([])
+        with pytest.raises(RoutingError):
+            table.route(Communication(0, 1))
+
+    def test_duplicate_route_rejected(self):
+        net, sw = _line_network()
+        r = make_route(net, Communication(0, 2), sw)
+        with pytest.raises(RoutingError):
+            TableRouting([r, r])
+
+    def test_iteration_and_len(self):
+        net, sw = _line_network()
+        r = make_route(net, Communication(0, 2), sw)
+        table = TableRouting([r])
+        assert len(table) == 1
+        assert list(table) == [r]
+        assert table.has_route(Communication(0, 2))
+
+
+class TestShortestPathRouting:
+    def test_routes_over_shortest_path(self):
+        net, sw = _line_network(4)
+        routing = ShortestPathRouting(net)
+        assert routing.route(Communication(0, 3)).num_hops == 3
+
+    def test_same_switch_routes_have_no_hops(self):
+        top = crossbar(4)
+        r = top.routing.route(Communication(1, 3))
+        assert r.num_hops == 0
+        assert r.resources == {("inj", 1), ("ej", 3)}
+
+    def test_routes_are_deterministic_and_cached(self):
+        net, sw = _line_network(4)
+        routing = ShortestPathRouting(net)
+        assert routing.route(Communication(0, 3)) is routing.route(Communication(0, 3))
+
+    def test_validation_accepts_all_pairs(self):
+        net, sw = _line_network(4)
+        routing = ShortestPathRouting(net)
+        comms = [Communication(i, j) for i in range(4) for j in range(4) if i != j]
+        check_routes_valid(net, routing, comms)
+
+
+class TestDimensionOrderRouting:
+    def test_mesh_xy_route_goes_x_first(self):
+        top = mesh(4, 4)
+        # processor 0 at (0,0) to processor 15 at (3,3).
+        r = top.routing.route(Communication(0, 15))
+        xs = [top.coords[s][0] for s in r.switch_path]
+        ys = [top.coords[s][1] for s in r.switch_path]
+        assert xs == [0, 1, 2, 3, 3, 3, 3]
+        assert ys == [0, 0, 0, 0, 1, 2, 3]
+
+    def test_mesh_route_lengths_are_manhattan(self):
+        top = mesh(4, 4)
+        for s, d in [(0, 5), (3, 12), (6, 9)]:
+            r = top.routing.route(Communication(s, d))
+            sx, sy = top.coords[top.network.switch_of(s)]
+            dx, dy = top.coords[top.network.switch_of(d)]
+            assert r.num_hops == abs(sx - dx) + abs(sy - dy)
+
+    def test_torus_takes_wraparound_shortcut(self):
+        top = torus(4, 4)
+        # (0,0) -> (3,0) is one hop through the wraparound link.
+        r = top.routing.route(Communication(0, 3))
+        assert r.num_hops == 1
+
+    def test_torus_tie_goes_positive(self):
+        top = torus(4, 4)
+        # (0,0) -> (2,0): distance 2 both ways; positive direction wins.
+        r = top.routing.route(Communication(0, 2))
+        path_x = [top.coords[s][0] for s in r.switch_path]
+        assert path_x == [0, 1, 2]
+
+    def test_all_mesh_routes_validate(self):
+        top = mesh(3, 3)
+        comms = [Communication(i, j) for i in range(9) for j in range(9) if i != j]
+        check_routes_valid(top.network, top.routing, comms)
+
+    def test_all_torus_routes_validate(self):
+        top = torus(4, 2)
+        comms = [Communication(i, j) for i in range(8) for j in range(8) if i != j]
+        check_routes_valid(top.network, top.routing, comms)

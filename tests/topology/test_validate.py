@@ -1,0 +1,101 @@
+"""Tests for routing/topology validation helpers."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.model import Communication
+from repro.topology import (
+    Network,
+    Route,
+    TableRouting,
+    check_routes_valid,
+    degree_report,
+    make_route,
+    mesh,
+    require_connected,
+)
+
+
+def _line():
+    net = Network(3)
+    switches = [net.add_switch() for _ in range(3)]
+    for p, s in enumerate(switches):
+        net.attach_processor(p, s)
+    net.add_link(switches[0], switches[1])
+    net.add_link(switches[1], switches[2])
+    return net, switches
+
+
+class TestDegreeReport:
+    def test_satisfied_mesh(self):
+        report = degree_report(mesh(4, 4).network, max_degree=5)
+        assert report.satisfied
+        assert report.violators == ()
+
+    def test_violators_listed(self):
+        report = degree_report(mesh(4, 4).network, max_degree=4)
+        assert not report.satisfied
+        # The four interior switches have degree 5.
+        assert len(report.violators) == 4
+
+
+class TestRequireConnected:
+    def test_connected_passes(self):
+        net, _ = _line()
+        require_connected(net)
+
+    def test_disconnected_raises(self):
+        net = Network(2)
+        a, b = net.add_switch(), net.add_switch()
+        net.attach_processor(0, a)
+        net.attach_processor(1, b)
+        with pytest.raises(TopologyError):
+            require_connected(net)
+
+
+class TestCheckRoutesValid:
+    def test_valid_table_passes(self):
+        net, sw = _line()
+        table = TableRouting([make_route(net, Communication(0, 2), sw)])
+        check_routes_valid(net, table, [Communication(0, 2)])
+
+    def test_revisiting_route_rejected(self):
+        net, sw = _line()
+        good = make_route(net, Communication(0, 2), sw)
+        # Forge a route that revisits a switch.
+        bad = Route(
+            comm=good.comm,
+            switch_path=(sw[0], sw[1], sw[0], sw[1], sw[2]),
+            hops=good.hops,
+            resources=good.resources,
+        )
+        table = TableRouting([bad])
+        with pytest.raises(RoutingError):
+            check_routes_valid(net, table, [Communication(0, 2)])
+
+    def test_hop_count_mismatch_rejected(self):
+        net, sw = _line()
+        good = make_route(net, Communication(0, 2), sw)
+        bad = Route(
+            comm=good.comm,
+            switch_path=good.switch_path,
+            hops=good.hops[:1],
+            resources=good.resources,
+        )
+        with pytest.raises(RoutingError):
+            check_routes_valid(net, TableRouting([bad]), [Communication(0, 2)])
+
+    def test_wrong_direction_rejected(self):
+        net, sw = _line()
+        good = make_route(net, Communication(0, 2), sw)
+        flipped = tuple(
+            ("link", link_id, 1 - direction) for _, link_id, direction in good.hops
+        )
+        bad = Route(
+            comm=good.comm,
+            switch_path=good.switch_path,
+            hops=flipped,
+            resources=good.resources,
+        )
+        with pytest.raises(RoutingError):
+            check_routes_valid(net, TableRouting([bad]), [Communication(0, 2)])

@@ -1,0 +1,124 @@
+"""Tests for program events and the phase builder."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ComputeEvent,
+    PhaseProgramBuilder,
+    Program,
+    RecvEvent,
+    SendEvent,
+)
+
+
+class TestEvents:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            ComputeEvent(-1)
+
+    def test_send_rejects_empty_message(self):
+        with pytest.raises(WorkloadError):
+            SendEvent(dest=1, size_bytes=0)
+
+    def test_events_are_frozen(self):
+        e = SendEvent(dest=1, size_bytes=64)
+        with pytest.raises(AttributeError):
+            e.dest = 2
+
+
+class TestProgramValidation:
+    def test_event_stream_count_must_match(self):
+        with pytest.raises(WorkloadError):
+            Program(name="x", num_processes=2, events=((),))
+
+    def test_out_of_range_send_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program(
+                name="x",
+                num_processes=2,
+                events=((SendEvent(dest=5, size_bytes=8),), ()),
+            )
+
+    def test_out_of_range_recv_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program(
+                name="x",
+                num_processes=2,
+                events=((RecvEvent(source=7),), ()),
+            )
+
+    def test_totals(self):
+        p = Program(
+            name="x",
+            num_processes=2,
+            events=(
+                (SendEvent(dest=1, size_bytes=100),),
+                (RecvEvent(source=0),),
+            ),
+        )
+        assert p.total_messages == 1
+        assert p.total_bytes == 100
+        assert p.sends_balanced()
+
+    def test_unbalanced_detected(self):
+        p = Program(
+            name="x",
+            num_processes=2,
+            events=((SendEvent(dest=1, size_bytes=100),), ()),
+        )
+        assert not p.sends_balanced()
+
+
+class TestPhaseProgramBuilder:
+    def test_phase_adds_sends_then_recvs(self):
+        b = PhaseProgramBuilder(2, "t")
+        b.phase([(0, 1, 64)])
+        p = b.build()
+        assert isinstance(p.events[0][0], SendEvent)
+        assert isinstance(p.events[1][0], RecvEvent)
+        assert p.phase_tags == ("phase0",)
+
+    def test_exchange_orders_send_before_recv(self):
+        # Bidirectional exchange: both processes send first, then recv,
+        # so blocking receives cannot deadlock.
+        b = PhaseProgramBuilder(2, "t")
+        b.phase([(0, 1, 64), (1, 0, 64)])
+        p = b.build()
+        for proc in (0, 1):
+            kinds = [type(e).__name__ for e in p.events[proc]]
+            assert kinds == ["SendEvent", "RecvEvent"]
+
+    def test_self_message_rejected(self):
+        b = PhaseProgramBuilder(2, "t")
+        with pytest.raises(WorkloadError):
+            b.phase([(0, 0, 64)])
+
+    def test_compute_jitter_varies_processes_deterministically(self):
+        b1 = PhaseProgramBuilder(4, "t", jitter=0.2, seed=42)
+        b1.compute(1000)
+        p1 = b1.build()
+        b2 = PhaseProgramBuilder(4, "t", jitter=0.2, seed=42)
+        b2.compute(1000)
+        p2 = b2.build()
+        cycles1 = [e[0].cycles for e in p1.events]
+        cycles2 = [e[0].cycles for e in p2.events]
+        assert cycles1 == cycles2  # seeded
+        assert len(set(cycles1)) > 1  # but jittered across processes
+
+    def test_zero_jitter_is_exact(self):
+        b = PhaseProgramBuilder(3, "t", jitter=0.0)
+        b.compute(500)
+        p = b.build()
+        assert all(e[0].cycles == 500 for e in p.events)
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(WorkloadError):
+            PhaseProgramBuilder(2, "t", jitter=1.5)
+
+    def test_compute_on_subset(self):
+        b = PhaseProgramBuilder(3, "t")
+        b.compute(100, processes=[1])
+        p = b.build()
+        assert p.events[0] == ()
+        assert p.events[1][0].cycles == 100

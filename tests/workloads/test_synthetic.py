@@ -1,0 +1,76 @@
+"""Tests for synthetic pattern generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.model import CliqueAnalysis, potential_contention_set
+from repro.workloads import (
+    hotspot_pattern,
+    neighbor_ring_pattern,
+    random_permutation_pattern,
+)
+
+
+class TestRandomPermutation:
+    def test_each_phase_is_full_permutation(self):
+        p = random_permutation_pattern(8, 3, seed=1)
+        analysis = CliqueAnalysis.of(p)
+        assert all(len(c) == 8 for c in analysis.max_cliques)
+
+    def test_no_fixed_points(self):
+        p = random_permutation_pattern(9, 5, seed=2)
+        assert all(m.source != m.dest for m in p)
+
+    def test_deterministic_by_seed(self):
+        a = random_permutation_pattern(8, 2, seed=7)
+        b = random_permutation_pattern(8, 2, seed=7)
+        assert a.messages == b.messages
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(WorkloadError):
+            random_permutation_pattern(1, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        phases=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_permutation_property(self, n, phases, seed):
+        p = random_permutation_pattern(n, phases, seed=seed)
+        by_tag = {}
+        for m in p:
+            by_tag.setdefault(m.tag, []).append(m)
+        for msgs in by_tag.values():
+            assert sorted(m.source for m in msgs) == list(range(n))
+            assert sorted(m.dest for m in msgs) == list(range(n))
+
+
+class TestHotspot:
+    def test_messages_are_sequential(self):
+        p = hotspot_pattern(6, hotspot=2)
+        assert potential_contention_set(p) == frozenset()
+
+    def test_all_sources_covered(self):
+        p = hotspot_pattern(5, hotspot=0)
+        assert {m.source for m in p} == {1, 2, 3, 4}
+        assert all(m.dest == 0 for m in p)
+
+    def test_bad_hotspot_rejected(self):
+        with pytest.raises(WorkloadError):
+            hotspot_pattern(4, hotspot=9)
+
+
+class TestNeighborRing:
+    def test_alternating_directions(self):
+        p = neighbor_ring_pattern(5, num_phases=2)
+        tags = {m.tag for m in p}
+        assert tags == {"ring0", "ring1"}
+        fwd = [m for m in p if m.tag == "ring0"]
+        assert all((m.source + 1) % 5 == m.dest for m in fwd)
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(WorkloadError):
+            neighbor_ring_pattern(2)

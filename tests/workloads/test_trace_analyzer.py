@@ -1,0 +1,112 @@
+"""Tests for the trace format and the pattern analyzer pipeline."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model import CliqueAnalysis
+from repro.workloads import (
+    PhaseProgramBuilder,
+    Trace,
+    TraceRecord,
+    check_trace_consistent,
+    contention_periods_of,
+    extract_pattern,
+    read_trace,
+    trace_program,
+    write_trace,
+)
+
+
+def _exchange_program():
+    b = PhaseProgramBuilder(4, "exch")
+    b.compute(100)
+    b.phase([(0, 1, 64), (1, 0, 64)], tag="a")
+    b.compute(100)
+    b.phase([(2, 3, 64), (3, 2, 64)], tag="b")
+    return b.build()
+
+
+class TestTraceProgram:
+    def test_records_sends_and_recvs(self):
+        trace = trace_program(_exchange_program())
+        assert len(trace.sends()) == 4
+        assert len(trace.recvs()) == 4
+
+    def test_compute_leaves_no_records(self):
+        trace = trace_program(_exchange_program())
+        assert all(r.op in ("send", "recv") for r in trace.records)
+
+    def test_tags_in_order(self):
+        trace = trace_program(_exchange_program())
+        assert trace.tags_in_order() == ("a", "b")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(process=0, op="exec", peer=1, size_bytes=0, tag="x")
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = trace_program(_exchange_program())
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded == trace
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            read_trace(path)
+
+
+class TestAnalyzer:
+    def test_consistency_check_passes_matched_trace(self):
+        check_trace_consistent(trace_program(_exchange_program()))
+
+    def test_consistency_check_catches_missing_recv(self):
+        trace = Trace(
+            name="bad",
+            num_processes=2,
+            records=(
+                TraceRecord(process=0, op="send", peer=1, size_bytes=8, tag="t"),
+            ),
+        )
+        with pytest.raises(WorkloadError):
+            check_trace_consistent(trace)
+
+    def test_periods_group_by_call_tag(self):
+        trace = trace_program(_exchange_program())
+        periods = contention_periods_of(trace)
+        assert [tag for tag, _ in periods] == ["a", "b"]
+        assert sorted(periods[0][1]) == [(0, 1, 64), (1, 0, 64)]
+
+    def test_duplicate_pair_in_one_call_rejected(self):
+        trace = Trace(
+            name="dup",
+            num_processes=2,
+            records=(
+                TraceRecord(process=0, op="send", peer=1, size_bytes=8, tag="t"),
+                TraceRecord(process=0, op="send", peer=1, size_bytes=8, tag="t"),
+            ),
+        )
+        with pytest.raises(WorkloadError):
+            contention_periods_of(trace)
+
+    def test_extract_pattern_one_clique_per_period(self):
+        pattern = extract_pattern(_exchange_program())
+        analysis = CliqueAnalysis.of(pattern)
+        assert len(analysis.periods) == 2
+        assert all(len(c) == 2 for c in analysis.max_cliques)
+
+    def test_extract_pattern_periods_never_overlap(self):
+        pattern = extract_pattern(_exchange_program())
+        phases = sorted(
+            {(m.t_start, m.t_finish) for m in pattern.messages}
+        )
+        for (s1, f1), (s2, f2) in zip(phases, phases[1:]):
+            assert f1 < s2  # strict gap between periods
+
+    def test_extract_from_program_equals_extract_from_trace(self):
+        program = _exchange_program()
+        assert extract_pattern(program) == extract_pattern(trace_program(program))
