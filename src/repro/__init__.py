@@ -10,9 +10,17 @@ The package is organized around the paper's pipeline:
 * :mod:`repro.simulator` — a trace-driven flit-level network simulator,
 * :mod:`repro.workloads` — NAS-like benchmark program generators,
 * :mod:`repro.floorplan` — tile floorplanning and the area model,
-* :mod:`repro.eval` — the paper's experiments (Figures 7 and 8).
+* :mod:`repro.eval` — the paper's experiments (Figures 7 and 8),
+* :mod:`repro.faults` — fault injection, route repair, resilience.
 """
 
+from repro.faults import (
+    FaultScenario,
+    LinkFault,
+    SwitchFault,
+    build_campaign,
+    repair_routes,
+)
 from repro.model import (
     CliqueAnalysis,
     Communication,
@@ -50,13 +58,17 @@ __all__ = [
     "CommunicationPattern",
     "ContentionEvent",
     "DesignConstraints",
+    "FaultScenario",
     "GeneratedDesign",
+    "LinkFault",
     "Message",
     "Network",
     "PhaseProgramBuilder",
     "SimConfig",
+    "SwitchFault",
     "Topology",
     "benchmark",
+    "build_campaign",
     "check_contention_free",
     "crossbar",
     "extract_pattern",
@@ -66,6 +78,7 @@ __all__ = [
     "mesh",
     "mesh_for",
     "read_pattern",
+    "repair_routes",
     "simulate",
     "torus",
     "torus_for",

@@ -7,6 +7,8 @@ Commands:
 * ``simulate`` — replay a benchmark on one topology and print stats.
 * ``figure7`` / ``figure8`` — regenerate the paper's evaluation tables.
 * ``cross-workload`` — the Section 4.2 robustness study.
+* ``resilience`` — fault-injection campaign: degradation of generated
+  networks vs baselines under link/switch failures.
 """
 
 from __future__ import annotations
@@ -56,6 +58,41 @@ def build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("cross-workload", help="Section 4.2 robustness study")
+
+    res = sub.add_parser(
+        "resilience", help="fault-injection campaign across topologies"
+    )
+    res.add_argument(
+        "--benchmark", default="cg", choices=("bt", "cg", "fft", "mg", "sp")
+    )
+    res.add_argument("--nodes", type=int, default=8)
+    res.add_argument(
+        "--topologies",
+        default="generated,mesh",
+        help="comma-separated topology kinds (generated, mesh, torus, crossbar)",
+    )
+    res.add_argument(
+        "--faults", default="link", choices=("link", "switch", "both"),
+        help="which resource class fails",
+    )
+    res.add_argument(
+        "--double", action="store_true", help="also inject every fault pair"
+    )
+    res.add_argument(
+        "--max-scenarios", type=int, default=None,
+        help="sample the campaign down to this many scenarios (seeded)",
+    )
+    res.add_argument(
+        "--transient", type=int, default=None, metavar="CYCLES",
+        help="make faults transient, lasting CYCLES cycles from their "
+        "start (disables route repair so retransmission is observable)",
+    )
+    res.add_argument(
+        "--fault-start", type=int, default=0, metavar="CYCLE",
+        help="cycle every fault activates at (default 0; set mid-run so "
+        "transient faults catch flits in flight)",
+    )
+    res.add_argument("--seed", type=int, default=0)
 
     insp = sub.add_parser("inspect", help="visualize a benchmark's pattern")
     insp.add_argument("--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp"))
@@ -140,6 +177,56 @@ def _cmd_cross_workload(_args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.errors import FaultError
+    from repro.eval import prepare, resilience_table, run_resilience
+    from repro.faults import CampaignSpec, build_campaign
+
+    kinds = ("link", "switch") if args.faults == "both" else (args.faults,)
+    topologies = tuple(k.strip() for k in args.topologies.split(",") if k.strip())
+    known = ("generated", "mesh", "torus", "crossbar")
+    unknown = [k for k in topologies if k not in known]
+    if unknown:
+        raise FaultError(f"unknown topology kinds {unknown}; choose from {known}")
+    setup = prepare(args.benchmark, args.nodes, seed=args.seed)
+    for i, kind in enumerate(topologies):
+        topology = setup.topology(kind)
+        campaign = build_campaign(
+            topology.network,
+            CampaignSpec(
+                kinds=kinds,
+                double=args.double,
+                max_scenarios=args.max_scenarios,
+                seed=args.seed,
+                start=args.fault_start,
+                end=(
+                    args.fault_start + args.transient
+                    if args.transient is not None
+                    else None
+                ),
+            ),
+        )
+        report = run_resilience(
+            setup.benchmark.program,
+            topology,
+            campaign,
+            link_delays=setup.link_delays(kind),
+        )
+        if i:
+            print()
+        fault_label = "+".join(kinds) + (
+            f" transient({args.transient})" if args.transient else ""
+        )
+        print(
+            resilience_table(
+                report,
+                f"Resilience of {topology.name} under single"
+                f"{'/double' if args.double else ''} {fault_label} faults",
+            )
+        )
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     from repro.model import CliqueAnalysis
     from repro.viz import render_comm_matrix, render_pattern_timeline
@@ -165,6 +252,7 @@ _COMMANDS = {
     "figure7": _cmd_figure7,
     "figure8": _cmd_figure8,
     "cross-workload": _cmd_cross_workload,
+    "resilience": _cmd_resilience,
     "inspect": _cmd_inspect,
 }
 

@@ -43,3 +43,7 @@ class WorkloadError(ReproError):
 
 class FloorplanError(ReproError):
     """No feasible floorplan could be produced for a network."""
+
+
+class FaultError(ReproError):
+    """A fault specification or campaign is invalid for its network."""

@@ -9,7 +9,18 @@ from repro.eval.experiments import (
     figure8_rows,
     paper_sizes,
 )
-from repro.eval.report import cross_workload_table, figure7_table, figure8_table
+from repro.eval.report import (
+    cross_workload_table,
+    figure7_table,
+    figure8_table,
+    resilience_table,
+)
+from repro.eval.resilience import (
+    ResilienceReport,
+    ScenarioOutcome,
+    program_pairs,
+    run_resilience,
+)
 from repro.eval.runner import (
     TOPOLOGY_ORDER,
     BenchmarkSetup,
@@ -23,6 +34,8 @@ __all__ = [
     "CrossWorkloadRow",
     "Figure7Row",
     "Figure8Row",
+    "ResilienceReport",
+    "ScenarioOutcome",
     "TOPOLOGY_ORDER",
     "cross_workload_rows",
     "cross_workload_table",
@@ -32,6 +45,9 @@ __all__ = [
     "figure8_table",
     "paper_sizes",
     "prepare",
+    "program_pairs",
+    "resilience_table",
     "run_cross_workload",
     "run_performance",
+    "run_resilience",
 ]

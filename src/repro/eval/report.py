@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.eval.experiments import CrossWorkloadRow, Figure7Row, Figure8Row
+from repro.eval.resilience import ResilienceReport
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -72,3 +73,46 @@ def cross_workload_table(rows: List[CrossWorkloadRow], title: str) -> str:
     ]
     headers = ["guest", "network", "exec cycles", "vs own net"]
     return f"{title}\n" + _table(headers, body)
+
+
+def resilience_table(report: ResilienceReport, title: str) -> str:
+    """Per-scenario degradation plus the aggregate summary line.
+
+    Baseline is the fault-free run; "infl" is execution time over it.
+    Disconnected scenarios show the deliverable-message fraction and no
+    timing (the program cannot finish on a partitioned network).
+    """
+    body = []
+    for o in report.outcomes:
+        body.append(
+            [
+                o.scenario.name,
+                o.status,
+                "-" if o.execution_cycles is None else f"{o.execution_cycles}",
+                "-" if o.inflation is None else f"{o.inflation:.3f}",
+                f"{100 * o.delivered_fraction:.0f}%",
+                f"{o.rerouted_pairs}",
+                f"{o.disconnected_pairs}",
+                f"{o.retransmissions}",
+                "-" if o.disconnected else f"{o.p99}",
+            ]
+        )
+    headers = [
+        "scenario",
+        "status",
+        "exec",
+        "infl",
+        "delivered",
+        "rerouted",
+        "cut pairs",
+        "retrans",
+        "p99 lat",
+    ]
+    baseline_line = (
+        f"fault-free baseline: {report.baseline.execution_cycles} cycles, "
+        f"p50/p95/p99 latency {report.baseline.p50_packet_latency}/"
+        f"{report.baseline.p95_packet_latency}/{report.baseline.p99_packet_latency}"
+    )
+    return "\n".join(
+        [f"{title}", baseline_line, _table(headers, body), report.summary()]
+    )

@@ -1,0 +1,152 @@
+"""Declarative fault models for synthesized and reference networks.
+
+The paper's methodology strips redundancy out of the network: the
+synthesizer emits the *minimal* irregular topology that is
+contention-free for one pattern.  These specs describe how that fabric
+can break so the rest of the subsystem (:mod:`repro.faults.state`,
+:mod:`repro.faults.repair`, :mod:`repro.eval.resilience`) can measure
+how gracefully the minimal designs degrade against the mesh/torus
+baselines that carry spare paths.
+
+Two physical fault classes are modeled:
+
+* :class:`LinkFault` — one full-duplex link is dead (both directed
+  channels).  Permanent when ``end`` is ``None``, transient otherwise
+  (fail at ``start``, recover at ``end``).
+* :class:`SwitchFault` — a whole switch is dead: every incident link
+  channel plus the injection/ejection channels of its attached
+  processors.
+
+A :class:`FaultScenario` bundles one or more specs under a stable name;
+campaigns (:mod:`repro.faults.campaign`) enumerate or sample scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.errors import FaultError
+from repro.topology.network import Network
+
+
+def _check_window(start: int, end: Optional[int], what: str) -> None:
+    if start < 0:
+        raise FaultError(f"{what} fails at negative cycle {start}")
+    if end is not None and end <= start:
+        raise FaultError(
+            f"{what} recovers at cycle {end}, not after its failure at {start}"
+        )
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One full-duplex link out of service during ``[start, end)``.
+
+    ``end is None`` means the failure is permanent.
+    """
+
+    link_id: int
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, f"link {self.link_id}")
+
+    @property
+    def permanent(self) -> bool:
+        return self.end is None
+
+    def active(self, cycle: int) -> bool:
+        """Whether the link is dead at ``cycle``."""
+        return self.start <= cycle and (self.end is None or cycle < self.end)
+
+    def validate(self, network: Network) -> None:
+        network.link(self.link_id)  # raises TopologyError if unknown
+
+    def describe(self) -> str:
+        window = "" if self.permanent else f"@{self.start}-{self.end}"
+        return f"link{self.link_id}{window}"
+
+
+@dataclass(frozen=True)
+class SwitchFault:
+    """A whole switch out of service during ``[start, end)``.
+
+    Kills every channel touching the switch: both directions of each
+    incident link and the injection/ejection channels of its attached
+    processors.  ``end is None`` means the failure is permanent.
+    """
+
+    switch_id: int
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, f"switch {self.switch_id}")
+
+    @property
+    def permanent(self) -> bool:
+        return self.end is None
+
+    def active(self, cycle: int) -> bool:
+        """Whether the switch is dead at ``cycle``."""
+        return self.start <= cycle and (self.end is None or cycle < self.end)
+
+    def validate(self, network: Network) -> None:
+        if self.switch_id not in network.switches:
+            raise FaultError(f"no switch with id {self.switch_id}")
+
+    def describe(self) -> str:
+        window = "" if self.permanent else f"@{self.start}-{self.end}"
+        return f"switch{self.switch_id}{window}"
+
+
+FaultSpec = Union[LinkFault, SwitchFault]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named set of concurrent faults applied to one simulation run."""
+
+    name: str
+    faults: Tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise FaultError(f"scenario {self.name!r} has no faults")
+
+    @classmethod
+    def of(cls, *faults: FaultSpec, name: Optional[str] = None) -> "FaultScenario":
+        """Build a scenario, naming it after its faults by default."""
+        label = name or "+".join(f.describe() for f in faults)
+        return cls(name=label, faults=tuple(faults))
+
+    def validate(self, network: Network) -> None:
+        """Check every fault references a resource of ``network``."""
+        for fault in self.faults:
+            fault.validate(network)
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def permanent_link_ids(self) -> FrozenSet[int]:
+        """Links that never come back — the set route repair must avoid."""
+        return frozenset(
+            f.link_id for f in self.faults if isinstance(f, LinkFault) and f.permanent
+        )
+
+    @property
+    def permanent_switch_ids(self) -> FrozenSet[int]:
+        """Switches that never come back."""
+        return frozenset(
+            f.switch_id
+            for f in self.faults
+            if isinstance(f, SwitchFault) and f.permanent
+        )
+
+    @property
+    def has_transient(self) -> bool:
+        return any(not f.permanent for f in self.faults)

@@ -1,0 +1,89 @@
+"""Cycle-resolved fault state consulted by the simulation engine.
+
+A :class:`FaultState` compiles a :class:`~repro.faults.spec.FaultScenario`
+against a concrete :class:`~repro.topology.network.Network` into
+per-channel outage windows, keyed by the engine's channel-id tokens
+(``("link", link_id, direction)``, ``("inj", p)``, ``("ej", p)``).
+
+The engine asks one question per decision point —
+:meth:`FaultState.channel_dead` — and uses :attr:`transitions` /
+:meth:`next_transition` to wake itself exactly at fault activations and
+recoveries, so idle-skip scheduling stays exact under transient faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.faults.spec import FaultScenario, LinkFault, SwitchFault
+from repro.topology.network import Network
+
+ChannelId = Tuple  # mirrors repro.simulator.packet.ChannelId
+_Window = Tuple[int, Optional[int]]  # [start, end); end None = forever
+
+
+class FaultState:
+    """Outage windows per directed channel for one fault scenario."""
+
+    def __init__(self, network: Network, scenario: FaultScenario) -> None:
+        scenario.validate(network)
+        self.network = network
+        self.scenario = scenario
+        self._windows: Dict[ChannelId, List[_Window]] = {}
+        transition_set = set()
+        for fault in scenario.faults:
+            transition_set.add(fault.start)
+            if fault.end is not None:
+                transition_set.add(fault.end)
+            window = (fault.start, fault.end)
+            for cid in self._fault_channels(network, fault):
+                self._windows.setdefault(cid, []).append(window)
+        self.transitions: Tuple[int, ...] = tuple(sorted(transition_set))
+
+    @staticmethod
+    def _fault_channels(network: Network, fault) -> List[ChannelId]:
+        """Every directed channel a fault takes out of service."""
+        if isinstance(fault, LinkFault):
+            return [("link", fault.link_id, 0), ("link", fault.link_id, 1)]
+        assert isinstance(fault, SwitchFault)
+        channels: List[ChannelId] = []
+        for neighbor in network.neighbors(fault.switch_id):
+            for link_id in network.links_between(fault.switch_id, neighbor):
+                channels.append(("link", link_id, 0))
+                channels.append(("link", link_id, 1))
+        for p in network.processors_of(fault.switch_id):
+            channels.append(("inj", p))
+            channels.append(("ej", p))
+        return channels
+
+    # -- queries --------------------------------------------------------
+
+    def channel_dead(self, cid: ChannelId, cycle: int) -> bool:
+        """Whether the directed channel ``cid`` is failed at ``cycle``."""
+        windows = self._windows.get(cid)
+        if not windows:
+            return False
+        return any(
+            start <= cycle and (end is None or cycle < end)
+            for start, end in windows
+        )
+
+    def next_transition(self, after: int) -> Optional[int]:
+        """Earliest fault activation/recovery strictly after ``after``."""
+        for t in self.transitions:
+            if t > after:
+                return t
+        return None
+
+    @property
+    def faulted_channels(self) -> FrozenSet[ChannelId]:
+        """Channels with at least one outage window (at any time)."""
+        return frozenset(self._windows)
+
+    def dead_links(self, cycle: int) -> FrozenSet[int]:
+        """Link ids with at least one dead direction at ``cycle``."""
+        return frozenset(
+            cid[1]
+            for cid in self._windows
+            if cid[0] == "link" and self.channel_dead(cid, cycle)
+        )

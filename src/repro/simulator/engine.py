@@ -7,12 +7,21 @@ cycle), credit-based flow control with delay-accurate credit return,
 and timeout-based deadlock detection with regressive recovery (killed
 packets drain and are retransmitted from the source — the paper's
 "detection and regressive recovery" discipline).
+
+Fault injection: when a :class:`~repro.faults.state.FaultState` is
+supplied, every allocation and traversal decision consults it.  Flits
+in flight on a failing channel are lost, and the affected packet is
+killed and retransmitted through the same regressive-recovery path the
+deadlock detector uses; packets blocked *before* a dead channel simply
+stall until the timeout kills them (or the channel recovers, for
+transient faults).  Credit/control signaling is assumed reliable, so
+transient faults leave no accounting residue after recovery.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.simulator.config import SimConfig
@@ -20,6 +29,9 @@ from repro.simulator.fabric import Channel, InputVC, Nic, Router
 from repro.simulator.packet import ChannelId, Flit, Packet
 from repro.simulator.routing import SimRouting
 from repro.topology.builders import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.state import FaultState
 
 # Heap event kinds.
 _FLIT = 0
@@ -37,12 +49,14 @@ class Engine:
         sim_routing: SimRouting,
         config: SimConfig,
         link_delays: Optional[Dict[int, int]] = None,
+        fault_state: Optional["FaultState"] = None,
     ) -> None:
         topology.network.validate()
         self.topology = topology
         self.network = topology.network
         self.routing = sim_routing
         self.config = config
+        self.faults = fault_state
         self.channels: Dict[ChannelId, Channel] = {}
         self.routers: Dict[int, Router] = {}
         self.nics: Dict[int, Nic] = {}
@@ -57,11 +71,13 @@ class Engine:
         self.last_progress = 0
         self.deadlocks_detected = 0
         self.retransmissions = 0
+        self.fault_packet_kills = 0
         self.delivered_packets = 0
         self.flit_hops = 0
         self.packet_latencies: List[int] = []
         self._delivery_handler: Optional[DeliveryHandler] = None
         self._channel_busy_cycles: Dict[ChannelId, int] = {}
+        self._last_transition_seen = -1
 
     # -- construction ---------------------------------------------------
 
@@ -137,10 +153,36 @@ class Engine:
         """Whether any traffic exists anywhere in the engine."""
         return bool(self._heap) or self.flits_in_network > 0 or self.has_queued_packets()
 
+    # -- faults -----------------------------------------------------------
+
+    def _dead(self, cid: ChannelId, t: int) -> bool:
+        """Whether channel ``cid`` is failed at cycle ``t``."""
+        return self.faults is not None and self.faults.channel_dead(cid, t)
+
+    def next_fault_transition(self, after: int) -> Optional[int]:
+        """Earliest fault activation/recovery strictly after ``after``."""
+        if self.faults is None:
+            return None
+        return self.faults.next_transition(after)
+
+    def _cross_fault_transitions(self, t: int) -> None:
+        """Wake the whole fabric when a fault activates or recovers, so
+        blocked head flits re-arbitrate immediately."""
+        if self.faults is None:
+            return
+        crossed = False
+        for cycle in self.faults.transitions:
+            if self._last_transition_seen < cycle <= t:
+                self._last_transition_seen = cycle
+                crossed = True
+        if crossed:
+            self._active_routers.update(self.routers)
+
     # -- the cycle --------------------------------------------------------
 
     def step(self, t: int) -> bool:
         """Simulate cycle ``t``; returns whether any flit moved."""
+        self._cross_fault_transitions(t)
         moved = False
         moved |= self._deliver_events(t)
         moved |= self._step_routers(t)
@@ -169,7 +211,17 @@ class Engine:
                 cid, vc, flit = payload
                 channel = self.channels[cid]
                 dst_kind, dst_id = channel.dst
-                if dst_kind == "nic":
+                if not flit.packet.killed and self._dead(cid, t):
+                    # The flit was in flight when the channel failed: it
+                    # is lost.  Kill the packet so its remaining flits
+                    # drain and the source retransmits — the same
+                    # regressive-recovery path the deadlock detector
+                    # uses.  (Credit signaling is assumed reliable.)
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                    self._fault_kill(flit.packet, t)
+                elif dst_kind == "nic":
                     # NICs are infinite sinks: consume immediately.
                     self._push(t + channel.delay, _CREDIT, (cid, vc))
                     self.flits_in_network -= 1
@@ -216,6 +268,10 @@ class Engine:
                 if ivc.assignment is not None and ivc.assignment[0] == front.packet.packet_id:
                     continue
                 candidates = self.routing.candidates(front.packet, sid)
+                if self.faults is not None:
+                    # Dead outputs are not allocatable; with no live
+                    # candidate the head waits (recovery or timeout).
+                    candidates = [c for c in candidates if not self._dead(c, t)]
                 if len(candidates) > 1:
                     # Adaptive choice: prefer the least-congested output
                     # channel (fewest allocated VCs), ties in candidate
@@ -240,6 +296,8 @@ class Engine:
                 pid, out_cid, out_vc = ivc.assignment
                 if pid != front.packet.packet_id:
                     continue
+                if self._dead(out_cid, t):
+                    continue  # channel failed after allocation: stall
                 if self.channels[out_cid].credits[out_vc] > 0:
                     requests.setdefault(out_cid, []).append(idx)
             for out_cid in sorted(requests):
@@ -268,6 +326,8 @@ class Engine:
         for p in sorted(self.nics):
             nic = self.nics[p]
             channel = self.channels[nic.inject_channel]
+            if self._dead(nic.inject_channel, t):
+                continue  # injection blocked while the channel is down
             if nic.streaming is None and nic.queue:
                 eligible = [pkt for pkt in nic.queue if pkt.inject_cycle <= t]
                 if eligible:
@@ -294,7 +354,7 @@ class Engine:
                         channel.owner[vc] = None
         return moved
 
-    # -- deadlock recovery -------------------------------------------------
+    # -- regressive recovery ---------------------------------------------
 
     def _recover_deadlock(self, t: int) -> None:
         """Kill the youngest stuck packet and retransmit it (regressive
@@ -310,9 +370,24 @@ class Engine:
                 f"deadlock detected at cycle {t} but no packet is in flight"
             )
         victim = max(stuck, key=lambda pkt: (pkt.inject_cycle, pkt.packet_id))
-        victim.killed = True
         self.deadlocks_detected += 1
-        # Release VC allocations held by the victim.
+        self._kill_packet(victim)
+        self._retransmit(victim, t)
+        self.last_progress = t
+
+    def _fault_kill(self, packet: Packet, t: int) -> None:
+        """Regressive recovery triggered by a fault instead of the
+        timeout: a flit of ``packet`` was lost on a failing channel."""
+        if packet.killed or packet.delivered:
+            return
+        self.fault_packet_kills += 1
+        self._kill_packet(packet)
+        self._retransmit(packet, t)
+
+    def _kill_packet(self, victim: Packet) -> None:
+        """Mark a packet killed and release every resource it holds; its
+        flits in buffers/in flight drop via the killed flag."""
+        victim.killed = True
         for router in self.routers.values():
             for cid, vcs in router.inputs.items():
                 for vc, ivc in enumerate(vcs):
@@ -324,8 +399,17 @@ class Engine:
         held_vc = nic.abort_stream(victim.packet_id)
         if held_vc is not None:
             self.channels[nic.inject_channel].owner[held_vc] = None
-        # Flits still queued at the source that never left need no drain;
-        # flits in buffers/in flight drop via the killed flag.
+        # Wake every router so killed flits drain promptly.
+        self._active_routers.update(self.routers)
+
+    def _retransmit(self, victim: Packet, t: int) -> None:
+        """Re-inject a killed packet from its source after the backoff.
+
+        The replacement gets a fresh id but keeps the (source, dest,
+        seq) identity, and is re-prepared by the routing policy — so a
+        repaired routing table re-routes retransmissions around
+        permanent faults.
+        """
         replacement = Packet(
             packet_id=self._next_packet_id,
             source=victim.source,
@@ -338,11 +422,8 @@ class Engine:
         self._next_packet_id += 1
         self.routing.prepare(replacement, self.network)
         self._packets[replacement.packet_id] = replacement
-        nic.enqueue(replacement)
+        self.nics[victim.source].enqueue(replacement)
         self.retransmissions += 1
-        self.last_progress = t
-        # Wake every router so killed flits drain promptly.
-        self._active_routers.update(self.routers)
 
     def _has_presence(self, pkt: Packet) -> bool:
         """Whether killing the packet could free network resources: it

@@ -8,7 +8,7 @@ fully-adaptive for tori.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.simulator.config import SimConfig
@@ -18,6 +18,9 @@ from repro.simulator.routing import AdaptiveMinimal, BoundSourceRouted, SimRouti
 from repro.simulator.stats import SimulationResult
 from repro.topology.builders import Topology
 from repro.workloads.events import Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.state import FaultState
 
 
 def routing_policy_for(topology: Topology) -> SimRouting:
@@ -38,6 +41,7 @@ def simulate(
     config: Optional[SimConfig] = None,
     link_delays: Optional[Dict[int, int]] = None,
     routing: Optional[SimRouting] = None,
+    fault_state: Optional["FaultState"] = None,
 ) -> SimulationResult:
     """Replay ``program`` on ``topology`` and collect statistics.
 
@@ -49,6 +53,9 @@ def simulate(
             link lengths); missing links default to one cycle.
         routing: override the routing policy (defaults to the paper's
             choice for the topology kind).
+        fault_state: optional fault scenario to inject; pair it with a
+            repaired routing (:mod:`repro.faults.repair`) so permanent
+            faults are routed around rather than retried forever.
 
     Raises:
         SimulationError: on unmatched receives (the program blocks
@@ -60,6 +67,7 @@ def simulate(
         routing or routing_policy_for(topology),
         config,
         link_delays=link_delays,
+        fault_state=fault_state,
     )
     replay = ProcessReplay(program, engine, config)
 
@@ -87,6 +95,7 @@ def simulate(
         delivered_packets=engine.delivered_packets,
         deadlocks_detected=engine.deadlocks_detected,
         retransmissions=engine.retransmissions,
+        fault_packet_kills=engine.fault_packet_kills,
         flit_hops=engine.flit_hops,
         link_utilization=engine.link_utilization(max(1, replay.execution_cycles())),
         config=config,
@@ -110,6 +119,17 @@ def _advance(engine: Engine, replay: ProcessReplay, t: int) -> int:
     inject_next = engine.next_inject_time(t)
     if inject_next is not None:
         candidates.append(inject_next)
+    fault_next = engine.next_fault_transition(t)
+    if fault_next is not None and (engine.busy() or replay.anyone_blocked()):
+        # A fault activating/recovering can unblock stalled traffic
+        # (e.g. a NIC waiting out a transient injection-channel outage);
+        # the deadlock horizon still competes, so a long outage kills
+        # stalled packets instead of silently waiting out the fault.
+        candidates.append(fault_next)
+        if engine.flits_in_network > 0:
+            candidates.append(
+                max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+            )
     if candidates:
         return max(t + 1, min(candidates))
     if engine.flits_in_network > 0:

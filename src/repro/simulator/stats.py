@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -22,6 +23,8 @@ class SimulationResult:
         delivered_packets: messages whose tail flit reached its NIC.
         deadlocks_detected: regressive-recovery activations.
         retransmissions: packets re-injected after being killed.
+        fault_packet_kills: packets killed because a flit was lost on a
+            failing channel (zero in fault-free runs).
         flit_hops: total flit-link traversals (network work).
         link_utilization: busy fraction per channel.
         config: the simulation configuration used.
@@ -38,6 +41,7 @@ class SimulationResult:
     link_utilization: Dict[tuple, float]
     config: SimConfig
     packet_latencies: Tuple[int, ...] = ()
+    fault_packet_kills: int = 0
 
     @property
     def avg_comm_cycles(self) -> float:
@@ -71,6 +75,33 @@ class SimulationResult:
     @property
     def max_packet_latency(self) -> int:
         return max(self.packet_latencies, default=0)
+
+    def latency_percentile(self, p: float) -> int:
+        """Nearest-rank percentile of delivered-packet latency.
+
+        ``p`` is in [0, 100]; returns 0 when nothing was delivered.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.packet_latencies:
+            return 0
+        ordered = sorted(self.packet_latencies)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50_packet_latency(self) -> int:
+        """Median delivered-packet latency."""
+        return self.latency_percentile(50)
+
+    @property
+    def p95_packet_latency(self) -> int:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_packet_latency(self) -> int:
+        """Tail latency — the resilience report's degradation metric."""
+        return self.latency_percentile(99)
 
     def summary(self) -> str:
         """One-line report used by examples and benches."""

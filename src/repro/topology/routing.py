@@ -139,11 +139,25 @@ class ShortestPathRouting(RoutingBase):
     Ties are broken toward the lowest switch id, so the routing function
     is a function (Definition 6 requires a *single* ordered path per
     pair).  Routes are cached.
+
+    ``avoid_links`` / ``avoid_switches`` exclude dead resources: the BFS
+    never enters an avoided switch or crosses a switch pair whose only
+    links are avoided, and hop pinning skips avoided parallel links.
+    The fault-repair pass (:mod:`repro.faults.repair`) uses this to
+    recompute routes around failures; unreachable pairs surface as
+    :class:`~repro.errors.RoutingError`.
     """
 
-    def __init__(self, network: Network) -> None:
+    def __init__(
+        self,
+        network: Network,
+        avoid_links: Iterable[int] = (),
+        avoid_switches: Iterable[int] = (),
+    ) -> None:
         network.validate()
         self._network = network
+        self._avoid_links = frozenset(avoid_links)
+        self._avoid_switches = frozenset(avoid_switches)
         self._cache: Dict[Communication, Route] = {}
         self._parents: Dict[int, Dict[int, int]] = {}
 
@@ -153,10 +167,39 @@ class ShortestPathRouting(RoutingBase):
             return cached
         src_switch = self._network.switch_of(comm.source)
         dst_switch = self._network.switch_of(comm.dest)
+        for endpoint, role in ((src_switch, "source"), (dst_switch, "destination")):
+            if endpoint in self._avoid_switches:
+                raise RoutingError(f"{role} switch S{endpoint} of {comm} is avoided")
         path = self._switch_path(src_switch, dst_switch)
-        r = make_route(self._network, comm, path)
+        r = make_route(self._network, comm, path, self._pin_links(path))
         self._cache[comm] = r
         return r
+
+    def _pin_links(self, path: Tuple[int, ...]) -> Optional[Dict[int, int]]:
+        """Pin each hop to its lowest non-avoided parallel link."""
+        if not self._avoid_links:
+            return None
+        choices: Dict[int, int] = {}
+        for i, (u, v) in enumerate(zip(path, path[1:])):
+            usable = [
+                lid
+                for lid in self._network.links_between(u, v)
+                if lid not in self._avoid_links
+            ]
+            if not usable:  # pragma: no cover - BFS never picks such a hop
+                raise RoutingError(f"no usable link between S{u} and S{v}")
+            choices[i] = usable[0]
+        return choices
+
+    def _usable(self, u: int, v: int) -> bool:
+        """Whether at least one non-avoided link joins switches u and v."""
+        if v in self._avoid_switches:
+            return False
+        if not self._avoid_links:
+            return True
+        return any(
+            lid not in self._avoid_links for lid in self._network.links_between(u, v)
+        )
 
     def _switch_path(self, src: int, dst: int) -> Tuple[int, ...]:
         parents = self._parents.get(src)
@@ -176,7 +219,7 @@ class ShortestPathRouting(RoutingBase):
         while queue:
             s = queue.popleft()
             for n in self._network.neighbors(s):
-                if n not in parents:
+                if n not in parents and self._usable(s, n):
                     parents[n] = s
                     queue.append(n)
         return parents

@@ -1,0 +1,76 @@
+"""Fault spec validation and activation windows."""
+
+import pytest
+
+from repro.errors import FaultError, TopologyError
+from repro.faults import FaultScenario, LinkFault, SwitchFault
+from repro.topology import mesh
+
+
+class TestWindows:
+    def test_permanent_link_fault_is_always_active_after_start(self):
+        f = LinkFault(3, start=100)
+        assert not f.active(99)
+        assert f.active(100)
+        assert f.active(10**9)
+        assert f.permanent
+
+    def test_transient_fault_recovers(self):
+        f = LinkFault(3, start=100, end=200)
+        assert not f.permanent
+        assert not f.active(99)
+        assert f.active(100)
+        assert f.active(199)
+        assert not f.active(200)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            LinkFault(0, start=-1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(FaultError):
+            SwitchFault(0, start=100, end=100)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(FaultError):
+            LinkFault(0, start=200, end=100)
+
+
+class TestValidation:
+    def test_unknown_link_rejected(self):
+        top = mesh(2, 2)
+        with pytest.raises(TopologyError):
+            LinkFault(999).validate(top.network)
+
+    def test_unknown_switch_rejected(self):
+        top = mesh(2, 2)
+        with pytest.raises(FaultError):
+            SwitchFault(999).validate(top.network)
+
+    def test_scenario_validates_all_faults(self):
+        top = mesh(2, 2)
+        good = FaultScenario.of(LinkFault(0), SwitchFault(1))
+        good.validate(top.network)
+        bad = FaultScenario.of(LinkFault(0), SwitchFault(999))
+        with pytest.raises(FaultError):
+            bad.validate(top.network)
+
+
+class TestScenario:
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(FaultError):
+            FaultScenario(name="empty", faults=())
+
+    def test_default_name_describes_faults(self):
+        s = FaultScenario.of(LinkFault(3), SwitchFault(1, start=10, end=20))
+        assert s.name == "link3+switch1@10-20"
+
+    def test_permanent_resource_sets(self):
+        s = FaultScenario.of(
+            LinkFault(3),
+            LinkFault(4, start=0, end=100),
+            SwitchFault(1),
+        )
+        assert s.permanent_link_ids == frozenset({3})
+        assert s.permanent_switch_ids == frozenset({1})
+        assert s.has_transient

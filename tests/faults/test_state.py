@@ -1,0 +1,69 @@
+"""FaultState: channel outage windows and transition queries."""
+
+from repro.faults import FaultScenario, FaultState, LinkFault, SwitchFault
+from repro.topology import mesh
+
+
+def _state(*faults):
+    top = mesh(2, 2)
+    return top, FaultState(top.network, FaultScenario.of(*faults))
+
+
+class TestLinkFaults:
+    def test_both_directions_die(self):
+        _, state = _state(LinkFault(0))
+        assert state.channel_dead(("link", 0, 0), 0)
+        assert state.channel_dead(("link", 0, 1), 0)
+
+    def test_other_channels_unaffected(self):
+        _, state = _state(LinkFault(0))
+        assert not state.channel_dead(("link", 1, 0), 0)
+        assert not state.channel_dead(("inj", 0), 0)
+
+    def test_transient_window(self):
+        _, state = _state(LinkFault(0, start=50, end=60))
+        assert not state.channel_dead(("link", 0, 0), 49)
+        assert state.channel_dead(("link", 0, 0), 50)
+        assert state.channel_dead(("link", 0, 0), 59)
+        assert not state.channel_dead(("link", 0, 0), 60)
+
+
+class TestSwitchFaults:
+    def test_kills_incident_links_and_endpoints(self):
+        top, state = _state(SwitchFault(0))
+        # Every link touching switch 0, both directions.
+        for link in top.network.links:
+            dead = link.u == 0 or link.v == 0
+            assert state.channel_dead(("link", link.link_id, 0), 0) == dead
+            assert state.channel_dead(("link", link.link_id, 1), 0) == dead
+        # The attached processor loses injection and ejection.
+        (p,) = top.network.processors_of(0)
+        assert state.channel_dead(("inj", p), 0)
+        assert state.channel_dead(("ej", p), 0)
+
+    def test_other_processors_keep_their_nics(self):
+        top, state = _state(SwitchFault(0))
+        (p,) = top.network.processors_of(3)
+        assert not state.channel_dead(("inj", p), 0)
+
+
+class TestTransitions:
+    def test_transition_cycles_sorted_unique(self):
+        _, state = _state(LinkFault(0, start=50, end=60), LinkFault(1, start=50))
+        assert state.transitions == (50, 60)
+
+    def test_next_transition_is_strictly_after(self):
+        _, state = _state(LinkFault(0, start=50, end=60))
+        assert state.next_transition(0) == 50
+        assert state.next_transition(50) == 60
+        assert state.next_transition(60) is None
+
+    def test_dead_links_at_cycle(self):
+        _, state = _state(LinkFault(0, start=50, end=60), LinkFault(2))
+        assert state.dead_links(0) == frozenset({2})
+        assert state.dead_links(55) == frozenset({0, 2})
+
+    def test_faulted_channels_cover_all_windows(self):
+        _, state = _state(LinkFault(0, start=50, end=60))
+        assert ("link", 0, 0) in state.faulted_channels
+        assert ("link", 0, 1) in state.faulted_channels

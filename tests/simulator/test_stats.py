@@ -55,3 +55,38 @@ class TestDerivedStats:
         assert "mesh-2x2" in text
         assert "0 deadlocks" in text
         assert "4 messages" in text
+
+
+class TestLatencyPercentiles:
+    def test_nearest_rank(self):
+        r = _result(packet_latencies=(10, 20, 30, 40))
+        assert r.latency_percentile(25) == 10
+        assert r.latency_percentile(50) == 20
+        assert r.latency_percentile(75) == 30
+        assert r.latency_percentile(100) == 40
+
+    def test_order_independent(self):
+        r = _result(packet_latencies=(40, 10, 30, 20))
+        assert r.latency_percentile(50) == 20
+
+    def test_properties(self):
+        r = _result(packet_latencies=tuple(range(1, 101)))
+        assert r.p50_packet_latency == 50
+        assert r.p95_packet_latency == 95
+        assert r.p99_packet_latency == 99
+
+    def test_zero_percentile_is_minimum(self):
+        r = _result()
+        assert r.latency_percentile(0) == 10
+
+    def test_empty_latencies_give_zero(self):
+        r = _result(packet_latencies=())
+        assert r.p50_packet_latency == 0
+        assert r.p99_packet_latency == 0
+
+    def test_out_of_range_rejected(self):
+        r = _result()
+        with pytest.raises(ValueError):
+            r.latency_percentile(-1)
+        with pytest.raises(ValueError):
+            r.latency_percentile(101)

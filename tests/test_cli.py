@@ -84,3 +84,32 @@ class TestInfeasibleSynthesis:
         )
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceCommand:
+    def test_generated_campaign_reports_degradation(self, capsys):
+        rc = main(
+            [
+                "resilience", "--benchmark", "cg", "--nodes", "8",
+                "--topologies", "generated",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Resilience of" in out
+        assert "scenario" in out and "status" in out
+        assert "survive connected" in out
+
+    def test_unknown_topology_reports_error(self, capsys):
+        rc = main(
+            ["resilience", "--benchmark", "cg", "--topologies", "blimp"]
+        )
+        assert rc == 1
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.benchmark == "cg"
+        assert args.nodes == 8
+        assert args.faults == "link"
+        assert args.transient is None
