@@ -12,9 +12,12 @@ from repro.eval import cross_workload_rows, cross_workload_table
 
 
 @pytest.mark.figure("cross-workload")
-def test_cross_workload(benchmark, show):
+def test_cross_workload(benchmark, show, jobs, eval_cache):
     rows = benchmark.pedantic(
-        cross_workload_rows, kwargs={"seed": 0}, rounds=1, iterations=1
+        cross_workload_rows,
+        kwargs={"seed": 0, "jobs": jobs, "cache": eval_cache},
+        rounds=1,
+        iterations=1,
     )
     show(
         cross_workload_table(

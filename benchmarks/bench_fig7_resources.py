@@ -12,9 +12,13 @@ from repro.eval import figure7_rows, figure7_table
 
 
 @pytest.mark.figure("7a")
-def test_fig7a_small_resources(benchmark, show):
+def test_fig7a_small_resources(benchmark, show, jobs, eval_cache):
     rows = benchmark.pedantic(
-        figure7_rows, args=("small",), kwargs={"seed": 0}, rounds=1, iterations=1
+        figure7_rows,
+        args=("small",),
+        kwargs={"seed": 0, "jobs": jobs, "cache": eval_cache},
+        rounds=1,
+        iterations=1,
     )
     show(figure7_table(rows, "Figure 7(a): resources vs mesh (8/9 nodes)"))
     for row in rows:
@@ -25,9 +29,13 @@ def test_fig7a_small_resources(benchmark, show):
 
 
 @pytest.mark.figure("7b")
-def test_fig7b_large_resources(benchmark, show):
+def test_fig7b_large_resources(benchmark, show, jobs, eval_cache):
     rows = benchmark.pedantic(
-        figure7_rows, args=("large",), kwargs={"seed": 0}, rounds=1, iterations=1
+        figure7_rows,
+        args=("large",),
+        kwargs={"seed": 0, "jobs": jobs, "cache": eval_cache},
+        rounds=1,
+        iterations=1,
     )
     show(figure7_table(rows, "Figure 7(b): resources vs mesh (16 nodes)"))
     by_name = {r.benchmark: r for r in rows}

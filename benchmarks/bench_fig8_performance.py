@@ -25,9 +25,13 @@ def _by_key(rows):
 
 
 @pytest.mark.figure("8a")
-def test_fig8a_small_performance(benchmark, show):
+def test_fig8a_small_performance(benchmark, show, jobs, eval_cache):
     rows = benchmark.pedantic(
-        figure8_rows, args=("small",), kwargs={"seed": 0}, rounds=1, iterations=1
+        figure8_rows,
+        args=("small",),
+        kwargs={"seed": 0, "jobs": jobs, "cache": eval_cache},
+        rounds=1,
+        iterations=1,
     )
     show(figure8_table(rows, "Figure 8(a): time vs crossbar (8/9 nodes)"))
     table = _by_key(rows)
@@ -40,9 +44,13 @@ def test_fig8a_small_performance(benchmark, show):
 
 
 @pytest.mark.figure("8b")
-def test_fig8b_large_performance(benchmark, show):
+def test_fig8b_large_performance(benchmark, show, jobs, eval_cache):
     rows = benchmark.pedantic(
-        figure8_rows, args=("large",), kwargs={"seed": 0}, rounds=1, iterations=1
+        figure8_rows,
+        args=("large",),
+        kwargs={"seed": 0, "jobs": jobs, "cache": eval_cache},
+        rounds=1,
+        iterations=1,
     )
     show(figure8_table(rows, "Figure 8(b): time vs crossbar (16 nodes)"))
     table = _by_key(rows)

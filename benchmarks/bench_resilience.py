@@ -21,7 +21,7 @@ def setup():
     return prepare("cg", 8, seed=0)
 
 
-def _campaign_report(setup, kind):
+def _campaign_report(setup, kind, jobs, cache):
     topology = setup.topology(kind)
     campaign = build_campaign(topology.network, CampaignSpec(kinds=("link",)))
     return run_resilience(
@@ -29,13 +29,18 @@ def _campaign_report(setup, kind):
         topology,
         campaign,
         link_delays=setup.link_delays(kind),
+        jobs=jobs,
+        cache=cache,
     )
 
 
 @pytest.mark.figure("resilience")
-def test_single_link_campaign_generated_vs_mesh(benchmark, setup, show):
+def test_single_link_campaign_generated_vs_mesh(benchmark, setup, show, jobs, eval_cache):
     reports = benchmark.pedantic(
-        lambda: {k: _campaign_report(setup, k) for k in ("generated", "mesh")},
+        lambda: {
+            k: _campaign_report(setup, k, jobs, eval_cache)
+            for k in ("generated", "mesh")
+        },
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Golden-grid determinism check: serial vs parallel, byte for byte.
+
+Runs the small-size Figure 8 grid twice in fresh caches — once with
+``--jobs 1`` and once with ``--jobs 2`` — and diffs the canonical JSON
+of every row.  Exits nonzero on any mismatch.  CI runs this on a
+schedule so a nondeterminism regression (e.g. an unseeded RNG or an
+iteration-order dependence sneaking into the simulator) is caught even
+when no PR touched the evaluation code.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_determinism.py [--size small] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.experiments import figure8_rows
+from repro.eval.parallel import ResultCache
+from repro.eval.serialize import canonical_json
+
+
+def _rows_as_json(rows):
+    return [canonical_json(dataclasses.asdict(r)) for r in rows]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="small", choices=("small", "large"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker count for the parallel leg (default 2)",
+    )
+    args = parser.parse_args()
+
+    timings = {}
+    results = {}
+    for label, jobs in (("serial", 1), (f"parallel(jobs={args.jobs})", args.jobs)):
+        with tempfile.TemporaryDirectory(prefix="repro-determinism-") as cache_dir:
+            started = time.perf_counter()
+            rows = figure8_rows(
+                args.size, seed=args.seed, jobs=jobs, cache=ResultCache(cache_dir)
+            )
+            timings[label] = time.perf_counter() - started
+            results[label] = _rows_as_json(rows)
+        print(f"{label}: {len(rows)} rows in {timings[label]:.1f}s", flush=True)
+
+    (serial_label, parallel_label) = results
+    serial, parallel = results[serial_label], results[parallel_label]
+    if len(serial) != len(parallel):
+        print(
+            f"FAIL: row count differs — {len(serial)} serial vs "
+            f"{len(parallel)} parallel",
+            file=sys.stderr,
+        )
+        return 1
+    mismatches = [
+        (i, s, p) for i, (s, p) in enumerate(zip(serial, parallel)) if s != p
+    ]
+    for i, s, p in mismatches:
+        print(f"FAIL: row {i} differs\n  serial:   {s}\n  parallel: {p}", file=sys.stderr)
+    if mismatches:
+        print(f"{len(mismatches)} mismatching rows", file=sys.stderr)
+        return 1
+    print(f"OK: {len(serial)} rows byte-identical across serial and parallel runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,12 @@ Commands:
 * ``cross-workload`` — the Section 4.2 robustness study.
 * ``resilience`` — fault-injection campaign: degradation of generated
   networks vs baselines under link/switch failures.
+* ``cache`` — inspect or clear the on-disk evaluation result cache.
+
+The grid-shaped commands (figure7/figure8/cross-workload/resilience)
+accept ``--jobs N`` to fan cells out over a process pool, ``--no-cache``
+/ ``--cache-dir`` to control the content-addressed result cache, and
+``--progress`` for per-cell timing lines on stderr.
 """
 
 from __future__ import annotations
@@ -18,6 +24,41 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+
+
+def _add_runner_options(cmd: argparse.ArgumentParser) -> None:
+    """Shared parallel-runner/cache flags for grid-shaped commands."""
+    cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the evaluation grid "
+        "(1 = serial, 0 = all cores; default 1)",
+    )
+    cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
+    cmd.add_argument(
+        "--progress", action="store_true",
+        help="print per-cell timing lines to stderr",
+    )
+
+
+def _runner_kwargs(args) -> dict:
+    """Translate the shared flags into row-producer keyword arguments."""
+    from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache, print_progress
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    return {
+        "jobs": args.jobs,
+        "cache": cache,
+        "progress": print_progress if args.progress else None,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,8 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         fig = sub.add_parser(name, help=f"regenerate the paper's {name}")
         fig.add_argument("--size", default="small", choices=("small", "large"))
         fig.add_argument("--seed", type=int, default=0)
+        _add_runner_options(fig)
 
-    sub.add_parser("cross-workload", help="Section 4.2 robustness study")
+    cross = sub.add_parser("cross-workload", help="Section 4.2 robustness study")
+    cross.add_argument("--seed", type=int, default=0)
+    _add_runner_options(cross)
 
     res = sub.add_parser(
         "resilience", help="fault-injection campaign across topologies"
@@ -93,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
         "transient faults catch flits in flight)",
     )
     res.add_argument("--seed", type=int, default=0)
+    _add_runner_options(res)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
 
     insp = sub.add_parser("inspect", help="visualize a benchmark's pattern")
     insp.add_argument("--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp"))
@@ -142,10 +194,12 @@ def _cmd_simulate(args) -> int:
 def _cmd_figure7(args) -> int:
     from repro.eval import figure7_rows, figure7_table
 
+    kwargs = _runner_kwargs(args)
+    kwargs.pop("progress")  # figure 7 has no simulation cells
     label = "7(a)" if args.size == "small" else "7(b)"
     print(
         figure7_table(
-            figure7_rows(args.size, seed=args.seed),
+            figure7_rows(args.size, seed=args.seed, **kwargs),
             f"Figure {label}: resources normalized to the mesh",
         )
     )
@@ -158,19 +212,19 @@ def _cmd_figure8(args) -> int:
     label = "8(a)" if args.size == "small" else "8(b)"
     print(
         figure8_table(
-            figure8_rows(args.size, seed=args.seed),
+            figure8_rows(args.size, seed=args.seed, **_runner_kwargs(args)),
             f"Figure {label}: time normalized to the crossbar",
         )
     )
     return 0
 
 
-def _cmd_cross_workload(_args) -> int:
+def _cmd_cross_workload(args) -> int:
     from repro.eval import cross_workload_rows, cross_workload_table
 
     print(
         cross_workload_table(
-            cross_workload_rows(seed=0),
+            cross_workload_rows(seed=args.seed, **_runner_kwargs(args)),
             "Section 4.2: foreign traces on the CG-16 network",
         )
     )
@@ -211,6 +265,7 @@ def _cmd_resilience(args) -> int:
             topology,
             campaign,
             link_delays=setup.link_delays(kind),
+            **_runner_kwargs(args),
         )
         if i:
             print()
@@ -224,6 +279,22 @@ def _cmd_resilience(args) -> int:
                 f"{'/double' if args.double else ''} {fault_label} faults",
             )
         )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root: {stats['root']}")
+    print(f"result payloads: {stats['results']}")
+    print(f"benchmark setups: {stats['setups']}")
+    print(f"total size: {stats['bytes']} bytes")
     return 0
 
 
@@ -253,6 +324,7 @@ _COMMANDS = {
     "figure8": _cmd_figure8,
     "cross-workload": _cmd_cross_workload,
     "resilience": _cmd_resilience,
+    "cache": _cmd_cache,
     "inspect": _cmd_inspect,
 }
 

@@ -8,14 +8,28 @@ Each function regenerates one table/figure of the evaluation section:
   mesh/torus/generated networks normalized to the crossbar (Figure 8).
 * :func:`cross_workload_rows` — FFT and BT traces replayed on the
   CG-generated network (Section 4.2's robustness paragraph).
+
+All row producers accept ``jobs``/``cache``/``progress`` and fan their
+simulation cells out through :mod:`repro.eval.parallel`; rows are always
+built from the JSON round-tripped payloads, so serial, parallel and
+cache-hit invocations produce identical rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.eval.runner import BenchmarkSetup, prepare, run_cross_workload, run_performance
+from repro.eval.parallel import (
+    PerformanceCell,
+    ProgressCallback,
+    ResultCache,
+    SetupTask,
+    prepare_setups,
+    run_cells,
+)
+from repro.eval.runner import TOPOLOGY_ORDER, BenchmarkSetup
+from repro.eval.serialize import result_from_dict
 from repro.floorplan.area import TORUS_LINK_FACTOR, measure_area
 from repro.simulator.config import SimConfig
 from repro.workloads.nas import BENCHMARK_NAMES, PAPER_LARGE_SIZE, PAPER_SMALL_SIZES
@@ -26,6 +40,17 @@ def paper_sizes(size: str) -> Dict[str, int]:
     if size == "small":
         return dict(PAPER_SMALL_SIZES)
     return {name: PAPER_LARGE_SIZE for name in BENCHMARK_NAMES}
+
+
+def _setups(
+    sizes: Dict[str, int],
+    seed: int,
+    jobs: Optional[int],
+    cache: Optional[ResultCache],
+) -> Dict[str, BenchmarkSetup]:
+    tasks = {name: SetupTask(name, n, seed=seed) for name, n in sizes.items()}
+    built = prepare_setups(list(tasks.values()), jobs=jobs, cache=cache)
+    return {name: built[task] for name, task in tasks.items()}
 
 
 @dataclass(frozen=True)
@@ -42,11 +67,22 @@ class Figure7Row:
     num_links: int = 0
 
 
-def figure7_rows(size: str, seed: int = 0) -> List[Figure7Row]:
-    """Regenerate Figure 7(a) ("small") or 7(b) ("large")."""
+def figure7_rows(
+    size: str,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Figure7Row]:
+    """Regenerate Figure 7(a) ("small") or 7(b) ("large").
+
+    Figure 7 needs no simulation — only the synthesized designs and
+    their floorplans — so parallelism and caching apply to the setups.
+    """
+    sizes = paper_sizes(size)
+    setups = _setups(sizes, seed, jobs, cache)
     rows = []
-    for name, n in paper_sizes(size).items():
-        setup = prepare(name, n, seed=seed)
+    for name, n in sizes.items():
+        setup = setups[name]
         report = measure_area(
             setup.design.topology, seed=seed, floorplan=setup.floorplan
         )
@@ -78,20 +114,44 @@ class Figure8Row:
 
 
 def figure8_rows(
-    size: str, seed: int = 0, config: Optional[SimConfig] = None
+    size: str,
+    seed: int = 0,
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Figure8Row]:
     """Regenerate Figure 8(a) ("small") or 8(b) ("large")."""
+    config = config or SimConfig()
+    sizes = paper_sizes(size)
+    setups = _setups(sizes, seed, jobs, cache)
+    cells = [
+        PerformanceCell(
+            label=f"{setups[name].name}/{kind}",
+            program=setups[name].benchmark.program,
+            topology=setups[name].topology(kind),
+            config=config,
+            link_delays=setups[name].link_delays(kind),
+        )
+        for name in sizes
+        for kind in TOPOLOGY_ORDER
+    ]
+    outcomes = run_cells(cells, jobs=jobs, cache=cache, progress=progress)
     rows = []
-    for name, n in paper_sizes(size).items():
-        setup = prepare(name, n, seed=seed)
-        results = run_performance(setup, config=config)
+    per_kind = len(TOPOLOGY_ORDER)
+    for group, name in enumerate(sizes):
+        setup = setups[name]
+        results = {
+            kind: result_from_dict(outcomes[group * per_kind + i].payload)
+            for i, kind in enumerate(TOPOLOGY_ORDER)
+        }
         base = results["crossbar"]
-        for kind in ("crossbar", "mesh", "torus", "generated"):
+        for kind in TOPOLOGY_ORDER:
             r = results[kind]
             rows.append(
                 Figure8Row(
                     benchmark=setup.name,
-                    num_processes=n,
+                    num_processes=sizes[name],
                     topology=kind,
                     execution_ratio=r.execution_cycles / base.execution_cycles,
                     communication_ratio=(
@@ -118,20 +178,49 @@ class CrossWorkloadRow:
 
 
 def cross_workload_rows(
-    seed: int = 0, config: Optional[SimConfig] = None
+    seed: int = 0,
+    config: Optional[SimConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[CrossWorkloadRow]:
     """FFT-16 and BT-16 replayed on the CG-16 generated network."""
-    host = prepare("cg", PAPER_LARGE_SIZE, seed=seed)
+    config = config or SimConfig()
+    guests = ("fft", "bt")
+    sizes = {name: PAPER_LARGE_SIZE for name in ("cg",) + guests}
+    setups = _setups(sizes, seed, jobs, cache)
+    host = setups["cg"]
+
+    def cell(guest: BenchmarkSetup, network: str) -> PerformanceCell:
+        if network == "own":
+            topology, delays = guest.design.topology, guest.floorplan.link_delays()
+        elif network == "host":
+            topology, delays = host.design.topology, host.floorplan.link_delays()
+        else:
+            topology, delays = guest.baselines["mesh"], None
+        return PerformanceCell(
+            label=f"{guest.name}/{network}",
+            program=guest.benchmark.program,
+            topology=topology,
+            config=config,
+            link_delays=delays,
+        )
+
+    networks = ("own", "host", "mesh")
+    cells = [cell(setups[g], network) for g in guests for network in networks]
+    outcomes = run_cells(cells, jobs=jobs, cache=cache, progress=progress)
     rows = []
-    for guest_name in ("fft", "bt"):
-        guest = prepare(guest_name, PAPER_LARGE_SIZE, seed=seed)
-        results = run_cross_workload(host, guest, config=config)
+    for group, g in enumerate(guests):
+        results = {
+            network: result_from_dict(outcomes[group * len(networks) + i].payload)
+            for i, network in enumerate(networks)
+        }
         own = results["own"].execution_cycles
-        for network in ("own", "host", "mesh"):
+        for network in networks:
             cycles = results[network].execution_cycles
             rows.append(
                 CrossWorkloadRow(
-                    guest=guest.name,
+                    guest=setups[g].name,
                     network=network,
                     execution_cycles=cycles,
                     degradation_vs_own=cycles / own - 1.0,

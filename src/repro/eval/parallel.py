@@ -1,0 +1,544 @@
+"""Parallel cached evaluation runner.
+
+Every paper-shape experiment (Figures 7/8, the cross-workload study,
+the resilience campaigns) is a grid of independent *cells*: one
+(program, topology, config, fault-scenario) simulation each.  This
+module fans cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and backs them with a content-addressed on-disk result cache, so a
+re-run of an unchanged grid is nearly free and a changed grid only
+recomputes the cells it invalidated.
+
+Cache keying
+------------
+A cell's key is the SHA-256 of the canonical JSON of everything that
+determines its result:
+
+* the program's full event streams (compute cycles included — jitter
+  changes timing and therefore results),
+* the topology description plus a routing fingerprint (the concrete
+  per-pair switch paths and link ids for source-routed networks, or
+  the adaptive policy name for the torus),
+* the :class:`~repro.simulator.config.SimConfig`,
+* per-link delays and the fault scenario, when present,
+* a code version tag (:data:`CACHE_VERSION`) — bumping the package
+  version or the cache schema invalidates every entry.
+
+Cache layout (under ``.repro-cache/`` by default)::
+
+    results/<sha256>.json   one simulation payload per cell
+    setups/<sha256>.pkl     pickled BenchmarkSetup per (name, n, seed)
+
+Determinism
+-----------
+Serial (``jobs=None``), parallel (``jobs=N``) and cache-hit execution
+all produce byte-identical payloads: every path returns the JSON-safe
+payload dictionary (fresh results round-trip through
+:func:`~repro.eval.serialize.result_to_dict` exactly), and the
+determinism harness in ``tests/eval/test_determinism.py`` pins this
+with golden fixtures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.eval.serialize import canonical_json, config_to_dict, result_to_dict
+from repro.faults.repair import repair_routes
+from repro.faults.spec import FaultScenario, LinkFault, SwitchFault
+from repro.faults.state import FaultState
+from repro.simulator.config import SimConfig
+from repro.simulator.routing import BoundSourceRouted
+from repro.simulator.simulation import simulate
+from repro.topology.builders import Topology
+from repro.workloads.events import Program, SendEvent
+
+# Bump to invalidate every cached entry after a change that alters
+# simulation or synthesis results without changing any input.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def code_version_tag() -> str:
+    """Version component of every cache key."""
+    from repro import __version__
+
+    return f"repro-{__version__}/schema-{CACHE_SCHEMA}"
+
+
+def resolve_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Normalize a ``--jobs`` value: None/1 -> serial, 0/negative -> all
+    cores, N -> N workers."""
+    if jobs is None or jobs == 1:
+        return None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed cache of cell payloads and benchmark setups."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def setups_dir(self) -> Path:
+        return self.root / "setups"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    # -- result payloads (JSON) ---------------------------------------
+
+    def get_result(self, key: str) -> Optional[dict]:
+        path = self.results_dir / f"{key}.json"
+        try:
+            import json
+
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn or corrupt entry is a miss; drop it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_result(self, key: str, payload: dict) -> None:
+        self._atomic_write(
+            self.results_dir / f"{key}.json",
+            canonical_json(payload).encode("utf-8"),
+        )
+
+    # -- benchmark setups (pickle) ------------------------------------
+
+    def get_setup(self, key: str):
+        path = self.setups_dir / f"{key}.pkl"
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_setup(self, key: str, setup) -> None:
+        self._atomic_write(
+            self.setups_dir / f"{key}.pkl",
+            pickle.dumps(setup, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    # -- maintenance ---------------------------------------------------
+
+    def _entries(self) -> List[Path]:
+        out: List[Path] = []
+        for d in (self.results_dir, self.setups_dir):
+            if d.is_dir():
+                out.extend(p for p in d.iterdir() if p.is_file())
+        return out
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        """Entry counts and total size, for ``repro cache info``."""
+        entries = self._entries()
+        results = sum(1 for p in entries if p.suffix == ".json")
+        setups = sum(1 for p in entries if p.suffix == ".pkl")
+        return {
+            "root": str(self.root),
+            "results": results,
+            "setups": setups,
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Cache-key fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _program_fingerprint(program: Program) -> dict:
+    """Full event-stream fingerprint (the trace plus compute timing)."""
+    streams = []
+    for stream in program.events:
+        events = []
+        for event in stream:
+            if isinstance(event, SendEvent):
+                events.append(["s", event.dest, event.size_bytes, event.tag])
+            elif hasattr(event, "source"):
+                events.append(["r", event.source, event.tag])
+            else:
+                events.append(["c", event.cycles])
+        streams.append(events)
+    return {
+        "name": program.name,
+        "num_processes": program.num_processes,
+        "events": streams,
+    }
+
+
+def _routing_fingerprint(topology: Topology, program: Program, source_routed: bool) -> dict:
+    """Concrete routes for deterministic policies, policy name otherwise."""
+    if topology.kind == "torus" and not source_routed:
+        return {"policy": "adaptive-minimal"}
+    routes = {}
+    for comm in program.communication_pairs():
+        r = topology.routing.route(comm)
+        routes[f"{comm.source}->{comm.dest}"] = [
+            list(r.switch_path),
+            list(r.link_ids),
+        ]
+    return {"policy": "source", "routes": routes}
+
+
+def _topology_fingerprint(
+    topology: Topology,
+    program: Program,
+    link_delays: Optional[Dict[int, int]],
+    source_routed: bool,
+) -> dict:
+    return {
+        "name": topology.name,
+        "kind": topology.kind,
+        "graph": topology.network.describe(),
+        "routing": _routing_fingerprint(topology, program, source_routed),
+        "link_delays": (
+            sorted(link_delays.items()) if link_delays is not None else None
+        ),
+    }
+
+
+def _scenario_fingerprint(scenario: FaultScenario) -> dict:
+    faults = []
+    for f in scenario.faults:
+        end = "perm" if f.end is None else str(f.end)
+        if isinstance(f, LinkFault):
+            faults.append(f"link:{f.link_id}:{f.start}:{end}")
+        elif isinstance(f, SwitchFault):
+            faults.append(f"switch:{f.switch_id}:{f.start}:{end}")
+        else:  # pragma: no cover - future fault classes
+            raise ReproError(f"unknown fault spec {f!r}")
+    return {"name": scenario.name, "faults": sorted(faults)}
+
+
+def cell_key(payload: dict) -> str:
+    """SHA-256 content key of a cell's canonical fingerprint payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Cells
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PerformanceCell:
+    """One program replayed on one topology with the paper's default
+    routing policy for that topology class."""
+
+    label: str
+    program: Program
+    topology: Topology
+    config: SimConfig
+    link_delays: Optional[Dict[int, int]] = None
+
+    def key(self) -> str:
+        return cell_key(
+            {
+                "version": code_version_tag(),
+                "kind": "performance",
+                "program": _program_fingerprint(self.program),
+                "topology": _topology_fingerprint(
+                    self.topology, self.program, self.link_delays, source_routed=False
+                ),
+                "config": config_to_dict(self.config),
+            }
+        )
+
+    def compute(self) -> dict:
+        result = simulate(
+            self.program, self.topology, self.config, link_delays=self.link_delays
+        )
+        return result_to_dict(result)
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One fault scenario (or the fault-free baseline, ``scenario=None``)
+    of a resilience campaign.
+
+    All resilience runs use deterministic source routing so the repaired
+    tables compare like-for-like with the baseline (see
+    :mod:`repro.eval.resilience`).
+    """
+
+    label: str
+    program: Program
+    topology: Topology
+    config: SimConfig
+    link_delays: Optional[Dict[int, int]] = None
+    scenario: Optional[FaultScenario] = None
+
+    def key(self) -> str:
+        return cell_key(
+            {
+                "version": code_version_tag(),
+                "kind": "resilience",
+                "program": _program_fingerprint(self.program),
+                "topology": _topology_fingerprint(
+                    self.topology, self.program, self.link_delays, source_routed=True
+                ),
+                "config": config_to_dict(self.config),
+                "scenario": (
+                    _scenario_fingerprint(self.scenario) if self.scenario else None
+                ),
+            }
+        )
+
+    def compute(self) -> dict:
+        pairs = self.program.communication_pairs()
+        if self.scenario is None:
+            result = simulate(
+                self.program,
+                self.topology,
+                self.config,
+                link_delays=self.link_delays,
+                routing=BoundSourceRouted(self.topology.routing, self.topology.network),
+            )
+            return {"status": "baseline", "result": result_to_dict(result)}
+        repair = repair_routes(self.topology, self.scenario, pairs=pairs)
+        if repair.disconnected:
+            lost = set(repair.disconnected)
+            stranded = sum(
+                1
+                for proc, stream in enumerate(self.program.events)
+                for event in stream
+                if isinstance(event, SendEvent)
+                and any(c.source == proc and c.dest == event.dest for c in lost)
+            )
+            return {
+                "status": "disconnected",
+                "rerouted_pairs": len(repair.rerouted),
+                "disconnected_pairs": len(repair.disconnected),
+                "stranded_messages": stranded,
+            }
+        result = simulate(
+            self.program,
+            self.topology,
+            self.config,
+            link_delays=self.link_delays,
+            routing=BoundSourceRouted(repair.routing, self.topology.network),
+            fault_state=FaultState(self.topology.network, self.scenario),
+        )
+        return {
+            "status": "ok",
+            "rerouted_pairs": len(repair.rerouted),
+            "result": result_to_dict(result),
+        }
+
+
+Cell = Union[PerformanceCell, ResilienceCell]
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell: its payload plus cache/timing metadata."""
+
+    label: str
+    key: str
+    cache_hit: bool
+    seconds: float
+    payload: dict
+
+
+ProgressCallback = Callable[[CellOutcome, int, int], None]
+
+
+def print_progress(outcome: CellOutcome, index: int, total: int) -> None:
+    """Default per-cell progress line (stderr, survives stdout capture)."""
+    status = "cached" if outcome.cache_hit else f"{outcome.seconds:.2f}s"
+    print(f"[{index}/{total}] {outcome.label}: {status}", file=sys.stderr, flush=True)
+
+
+def _execute_cell(cell: Cell, cache_root: Optional[str]) -> CellOutcome:
+    """Run one cell (worker side): consult the cache, compute on miss."""
+    started = time.perf_counter()
+    key = cell.key()
+    if cache_root is not None:
+        cached = ResultCache(cache_root).get_result(key)
+        if cached is not None:
+            return CellOutcome(
+                label=cell.label,
+                key=key,
+                cache_hit=True,
+                seconds=time.perf_counter() - started,
+                payload=cached,
+            )
+    payload = cell.compute()
+    if cache_root is not None:
+        ResultCache(cache_root).put_result(key, payload)
+    return CellOutcome(
+        label=cell.label,
+        key=key,
+        cache_hit=False,
+        seconds=time.perf_counter() - started,
+        payload=payload,
+    )
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[CellOutcome]:
+    """Execute every cell, serially or over a process pool.
+
+    Returns outcomes in cell order regardless of completion order, so
+    callers build rows deterministically.  ``jobs=None`` (or 1) runs in
+    process — the reference path the determinism harness compares
+    against; ``jobs=N`` fans out over N workers; ``jobs<=0`` uses every
+    core.
+    """
+    cache_root = str(cache.root) if cache is not None else None
+    workers = resolve_jobs(jobs)
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    if workers is None or total <= 1:
+        for i, cell in enumerate(cells):
+            outcome = _execute_cell(cell, cache_root)
+            outcomes[i] = outcome
+            if progress is not None:
+                progress(outcome, i + 1, total)
+        return [o for o in outcomes if o is not None]
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        futures = {
+            pool.submit(_execute_cell, cell, cache_root): i
+            for i, cell in enumerate(cells)
+        }
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                outcome = fut.result()
+                outcomes[futures[fut]] = outcome
+                done += 1
+                if progress is not None:
+                    progress(outcome, done, total)
+    return [o for o in outcomes if o is not None]
+
+
+# ---------------------------------------------------------------------------
+# Parallel benchmark-setup preparation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetupTask:
+    """One (benchmark, size, seed) setup of the evaluation grid."""
+
+    benchmark: str
+    n: int
+    seed: int = 0
+    restarts: int = 8
+
+    def key(self) -> str:
+        return cell_key(
+            {
+                "version": code_version_tag(),
+                "kind": "setup",
+                "benchmark": self.benchmark,
+                "n": self.n,
+                "seed": self.seed,
+                "restarts": self.restarts,
+            }
+        )
+
+
+def _build_setup(task: SetupTask, cache_root: Optional[str]):
+    """Build one setup (worker side), writing it through to the cache.
+
+    Synthesis and placement are fully seeded, so rebuilding the same
+    task in any process yields the identical setup (pinned by the
+    seed-determinism tests).
+    """
+    from repro.eval.runner import prepare
+
+    setup = prepare(task.benchmark, task.n, seed=task.seed, restarts=task.restarts)
+    if cache_root is not None:
+        ResultCache(cache_root).put_setup(task.key(), setup)
+    return setup
+
+
+def prepare_setups(
+    tasks: Sequence[SetupTask],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[SetupTask, "object"]:
+    """Prepare every setup of a grid, in parallel and through the cache."""
+    cache_root = str(cache.root) if cache is not None else None
+    setups: Dict[SetupTask, object] = {}
+    misses: List[SetupTask] = []
+    for task in tasks:
+        if task in setups:
+            continue
+        cached = cache.get_setup(task.key()) if cache is not None else None
+        if cached is not None:
+            setups[task] = cached
+        else:
+            misses.append(task)
+    workers = resolve_jobs(jobs)
+    if workers is None or len(misses) <= 1:
+        for task in misses:
+            setups[task] = _build_setup(task, cache_root)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            futures = {
+                pool.submit(_build_setup, task, cache_root): task for task in misses
+            }
+            for fut, task in futures.items():
+                setups[task] = fut.result()
+    return setups

@@ -21,27 +21,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.faults.repair import repair_routes
+from repro.eval.parallel import (
+    ProgressCallback,
+    ResilienceCell,
+    ResultCache,
+    run_cells,
+)
+from repro.eval.serialize import result_from_dict
 from repro.faults.spec import FaultScenario
-from repro.faults.state import FaultState
 from repro.model.message import Communication
 from repro.simulator.config import SimConfig
-from repro.simulator.routing import BoundSourceRouted
-from repro.simulator.simulation import simulate
 from repro.simulator.stats import SimulationResult
 from repro.topology.builders import Topology
-from repro.workloads.events import Program, SendEvent
+from repro.workloads.events import Program
 
 
 def program_pairs(program: Program) -> Tuple[Communication, ...]:
     """The distinct (source, dest) pairs a program communicates over."""
-    pairs = {
-        Communication(proc, event.dest)
-        for proc, stream in enumerate(program.events)
-        for event in stream
-        if isinstance(event, SendEvent)
-    }
-    return tuple(sorted(pairs))
+    return program.communication_pairs()
 
 
 @dataclass(frozen=True)
@@ -154,38 +151,56 @@ def run_resilience(
     scenarios: Iterable[FaultScenario],
     config: Optional[SimConfig] = None,
     link_delays: Optional[Dict[int, int]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResilienceReport:
     """Sweep fault scenarios for one program on one topology.
 
     The fault-free baseline uses the topology's own (deterministic)
     routing function; each scenario uses the repaired table, so the
-    baseline and the degraded runs share the routing discipline.
+    baseline and the degraded runs share the routing discipline.  The
+    baseline and every scenario are independent cells fanned out (and
+    cached) through :mod:`repro.eval.parallel`.
     """
     config = config or SimConfig()
-    pairs = program_pairs(program)
-    source_routing = BoundSourceRouted(topology.routing, topology.network)
-    baseline = simulate(
-        program, topology, config, link_delays=link_delays, routing=source_routing
+    scenario_list = list(scenarios)
+    cells = [
+        ResilienceCell(
+            label=f"{program.name}/{topology.name}/baseline",
+            program=program,
+            topology=topology,
+            config=config,
+            link_delays=link_delays,
+            scenario=None,
+        )
+    ]
+    cells.extend(
+        ResilienceCell(
+            label=f"{program.name}/{topology.name}/{scenario.name}",
+            program=program,
+            topology=topology,
+            config=config,
+            link_delays=link_delays,
+            scenario=scenario,
+        )
+        for scenario in scenario_list
     )
+    payloads = [
+        o.payload for o in run_cells(cells, jobs=jobs, cache=cache, progress=progress)
+    ]
+    baseline = result_from_dict(payloads[0]["result"])
     total_messages = program.total_messages
     outcomes = []
-    for scenario in scenarios:
-        repair = repair_routes(topology, scenario, pairs=pairs)
-        if repair.disconnected:
-            lost = set(repair.disconnected)
-            stranded = sum(
-                1
-                for proc, stream in enumerate(program.events)
-                for event in stream
-                if isinstance(event, SendEvent)
-                and Communication(proc, event.dest) in lost
-            )
+    for scenario, payload in zip(scenario_list, payloads[1:]):
+        if payload["status"] == "disconnected":
+            stranded = payload["stranded_messages"]
             outcomes.append(
                 ScenarioOutcome(
                     scenario=scenario,
                     status="disconnected",
-                    rerouted_pairs=len(repair.rerouted),
-                    disconnected_pairs=len(repair.disconnected),
+                    rerouted_pairs=payload["rerouted_pairs"],
+                    disconnected_pairs=payload["disconnected_pairs"],
                     execution_cycles=None,
                     inflation=None,
                     delivered_fraction=(
@@ -202,19 +217,12 @@ def run_resilience(
                 )
             )
             continue
-        result = simulate(
-            program,
-            topology,
-            config,
-            link_delays=link_delays,
-            routing=BoundSourceRouted(repair.routing, topology.network),
-            fault_state=FaultState(topology.network, scenario),
-        )
+        result = result_from_dict(payload["result"])
         outcomes.append(
             ScenarioOutcome(
                 scenario=scenario,
                 status="ok",
-                rerouted_pairs=len(repair.rerouted),
+                rerouted_pairs=payload["rerouted_pairs"],
                 disconnected_pairs=0,
                 execution_cycles=result.execution_cycles,
                 inflation=result.execution_cycles / max(1, baseline.execution_cycles),

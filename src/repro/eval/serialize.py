@@ -1,0 +1,131 @@
+"""Stable serialization of simulation results and cache payloads.
+
+Link resources are tuples (``("link", 3, 0)``, ``("inj", 2)``,
+``("ej", 5)``) and therefore not JSON keys.  :func:`encode_resource`
+gives each one a stable string form (``"link:3:0"``) used by the
+on-disk result cache and the utilization report, and
+:func:`decode_resource` inverts it exactly.
+
+:func:`result_to_dict` / :func:`result_from_dict` round-trip a
+:class:`~repro.simulator.stats.SimulationResult` through JSON-safe
+dictionaries losslessly (floats survive via JSON's shortest-repr
+round-trip), so cached results are byte-identical to freshly computed
+ones once both pass through :func:`canonical_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+from repro.simulator.config import SimConfig
+from repro.simulator.stats import SimulationResult
+
+_RESOURCE_KINDS = ("link", "inj", "ej")
+
+
+class SerializationError(ReproError):
+    """A payload could not be encoded or decoded."""
+
+
+def encode_resource(resource: Tuple) -> str:
+    """Stable string form of a directed-channel resource tuple.
+
+    ``("link", 3, 0)`` -> ``"link:3:0"``; ``("inj", 2)`` -> ``"inj:2"``.
+    """
+    if not isinstance(resource, tuple) or not resource:
+        raise SerializationError(f"not a resource tuple: {resource!r}")
+    kind = resource[0]
+    if kind not in _RESOURCE_KINDS:
+        raise SerializationError(f"unknown resource kind {kind!r} in {resource!r}")
+    if kind == "link" and len(resource) != 3:
+        raise SerializationError(f"link resource needs (kind, id, dir): {resource!r}")
+    if kind in ("inj", "ej") and len(resource) != 2:
+        raise SerializationError(f"{kind} resource needs (kind, processor): {resource!r}")
+    for part in resource[1:]:
+        if not isinstance(part, int) or isinstance(part, bool):
+            raise SerializationError(f"non-integer field {part!r} in {resource!r}")
+    return ":".join([kind] + [str(p) for p in resource[1:]])
+
+
+def decode_resource(encoded: str) -> Tuple:
+    """Invert :func:`encode_resource`."""
+    parts = encoded.split(":")
+    if parts[0] not in _RESOURCE_KINDS:
+        raise SerializationError(f"unknown resource encoding {encoded!r}")
+    try:
+        fields = tuple(int(p) for p in parts[1:])
+    except ValueError:
+        raise SerializationError(f"malformed resource encoding {encoded!r}") from None
+    resource = (parts[0],) + fields
+    # Validate shape by re-encoding.
+    if encode_resource(resource) != encoded:
+        raise SerializationError(f"malformed resource encoding {encoded!r}")
+    return resource
+
+
+def encode_link_utilization(utilization: Dict[Tuple, float]) -> Dict[str, float]:
+    """String-keyed, sort-stable form of a per-channel busy-fraction map."""
+    return {
+        encode_resource(res): frac
+        for res, frac in sorted(utilization.items(), key=lambda kv: encode_resource(kv[0]))
+    }
+
+
+def decode_link_utilization(encoded: Dict[str, float]) -> Dict[Tuple, float]:
+    return {decode_resource(key): frac for key, frac in encoded.items()}
+
+
+def config_to_dict(config: SimConfig) -> dict:
+    return asdict(config)
+
+
+def config_from_dict(raw: dict) -> SimConfig:
+    return SimConfig(**raw)
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """JSON-safe dictionary form of a simulation result."""
+    return {
+        "topology_name": result.topology_name,
+        "program_name": result.program_name,
+        "execution_cycles": result.execution_cycles,
+        "comm_cycles_per_process": list(result.comm_cycles_per_process),
+        "delivered_packets": result.delivered_packets,
+        "deadlocks_detected": result.deadlocks_detected,
+        "retransmissions": result.retransmissions,
+        "fault_packet_kills": result.fault_packet_kills,
+        "flit_hops": result.flit_hops,
+        "link_utilization": encode_link_utilization(result.link_utilization),
+        "config": config_to_dict(result.config),
+        "packet_latencies": list(result.packet_latencies),
+    }
+
+
+def result_from_dict(raw: dict) -> SimulationResult:
+    """Invert :func:`result_to_dict`."""
+    return SimulationResult(
+        topology_name=raw["topology_name"],
+        program_name=raw["program_name"],
+        execution_cycles=raw["execution_cycles"],
+        comm_cycles_per_process=tuple(raw["comm_cycles_per_process"]),
+        delivered_packets=raw["delivered_packets"],
+        deadlocks_detected=raw["deadlocks_detected"],
+        retransmissions=raw["retransmissions"],
+        fault_packet_kills=raw["fault_packet_kills"],
+        flit_hops=raw["flit_hops"],
+        link_utilization=decode_link_utilization(raw["link_utilization"]),
+        config=config_from_dict(raw["config"]),
+        packet_latencies=tuple(raw["packet_latencies"]),
+    )
+
+
+def canonical_json(payload) -> str:
+    """Canonical JSON text: sorted keys, no whitespace.
+
+    Two payloads are byte-identical iff their canonical JSON strings
+    are equal — the determinism harness's definition of "same results".
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -76,6 +76,7 @@ class Engine:
         self.flit_hops = 0
         self.packet_latencies: List[int] = []
         self._delivery_handler: Optional[DeliveryHandler] = None
+        self._delivery_observers: List[DeliveryHandler] = []
         self._channel_busy_cycles: Dict[ChannelId, int] = {}
         self._last_transition_seen = -1
 
@@ -110,6 +111,14 @@ class Engine:
 
     def set_delivery_handler(self, handler: DeliveryHandler) -> None:
         self._delivery_handler = handler
+
+    def add_delivery_observer(self, observer: DeliveryHandler) -> None:
+        """Register an extra per-delivery callback.
+
+        The handler slot belongs to the process replay; observers let
+        invariant tests watch deliveries without stealing it.
+        """
+        self._delivery_observers.append(observer)
 
     # -- packet submission ------------------------------------------------
 
@@ -244,6 +253,8 @@ class Engine:
         self.packet_latencies.append(t - packet.inject_cycle)
         if self._delivery_handler is not None:
             self._delivery_handler(packet.source, packet.dest, packet.seq, t)
+        for observer in self._delivery_observers:
+            observer(packet.source, packet.dest, packet.seq, t)
 
     def _step_routers(self, t: int) -> bool:
         moved = False

@@ -101,6 +101,20 @@ class Program:
             e.size_bytes for stream in self.events for e in stream if isinstance(e, SendEvent)
         )
 
+    def communication_pairs(self) -> tuple:
+        """The distinct (source, dest) communications the program uses,
+        sorted — the pair set routing tables and cache keys are built
+        over."""
+        from repro.model.message import Communication
+
+        pairs = {
+            Communication(proc, event.dest)
+            for proc, stream in enumerate(self.events)
+            for event in stream
+            if isinstance(event, SendEvent)
+        }
+        return tuple(sorted(pairs))
+
     def sends_balanced(self) -> bool:
         """Whether every send has a matching receive (per pair counts)."""
         sends: Dict[Tuple[int, int], int] = {}

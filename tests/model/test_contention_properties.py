@@ -1,0 +1,145 @@
+"""Property-based tests of the contention model against brute force.
+
+The sweep-based overlap relation, the contention-period cliques and the
+Theorem 1 certificate all have obvious O(n^2) reference definitions;
+hypothesis drives random message sets at both and demands agreement.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    CommunicationPattern,
+    ContentionEvent,
+    Message,
+    check_contention_free,
+    potential_contention_set,
+)
+from repro.model.cliques import contention_periods
+from repro.model.conflicts import shared_links
+from repro.model.contention import overlap_pairs
+from repro.topology import mesh_for
+
+NUM_PROCESSES = 6
+
+
+def _pattern(raw):
+    msgs = [
+        Message(source=s, dest=d, t_start=float(lo), t_finish=float(lo + dur))
+        for s, d, lo, dur in raw
+        if s != d
+    ]
+    if not msgs:
+        return None
+    return CommunicationPattern.from_messages(msgs, num_processes=NUM_PROCESSES)
+
+
+small_messages = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_PROCESSES - 1),
+        st.integers(min_value=0, max_value=NUM_PROCESSES - 1),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=5),  # zero-length messages included
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+def _overlaps(a, b):
+    """Closed-interval intersection — the reference overlap relation."""
+    return a.t_start <= b.t_finish and b.t_start <= a.t_finish
+
+
+class TestOverlapRelation:
+    @settings(max_examples=60, deadline=None)
+    @given(raw=small_messages)
+    def test_sweep_matches_brute_force_and_is_symmetric(self, raw):
+        """The sweep yields exactly the unordered pairs a full O(n^2)
+        scan finds; symmetry holds by construction of the scan."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        msgs = pattern.messages
+        swept = {frozenset({id(a), id(b)}) for a, b in overlap_pairs(pattern)}
+        brute = {
+            frozenset({id(msgs[i]), id(msgs[j])})
+            for i in range(len(msgs))
+            for j in range(i + 1, len(msgs))
+            if _overlaps(msgs[i], msgs[j]) and _overlaps(msgs[j], msgs[i])
+        }
+        assert swept == brute
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw=small_messages)
+    def test_contention_events_are_canonical(self, raw):
+        """Every emitted event is symmetric-canonical: first <= second,
+        and building it from the swapped pair gives the same event."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        for event in potential_contention_set(pattern):
+            assert event.first <= event.second
+            assert ContentionEvent.of(event.second, event.first) == event
+
+
+class TestCliqueSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(raw=small_messages)
+    def test_every_clique_pair_is_a_potential_contention(self, raw):
+        """Messages active through the same contention period mutually
+        overlap, so every distinct pair of clique communications must
+        appear in the potential contention set (Definition 5 refines
+        Definition 4)."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        contention = potential_contention_set(pattern)
+        for period in contention_periods(pattern):
+            clique = sorted(period.clique)
+            for i, a in enumerate(clique):
+                for b in clique[i + 1 :]:
+                    assert ContentionEvent.of(a, b) in contention, (
+                        period,
+                        a,
+                        b,
+                    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw=small_messages)
+    def test_periods_cover_every_message(self, raw):
+        """Each message's communication shows up in at least one period
+        (it is active at its own start time)."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        covered = set()
+        for period in contention_periods(pattern):
+            covered |= period.clique
+        assert covered == set(pattern.communications)
+
+
+class TestTheoremAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=small_messages)
+    def test_certificate_matches_exhaustive_conflict_scan(self, raw):
+        """Theorem 1's violation set equals the brute-force scan: every
+        unordered pair of time-overlapping messages with distinct
+        communications whose mesh routes share a link."""
+        pattern = _pattern(raw)
+        if pattern is None:
+            return
+        routing = mesh_for(NUM_PROCESSES).routing
+        cert = check_contention_free(pattern, routing)
+        msgs = pattern.messages
+        brute = set()
+        for i in range(len(msgs)):
+            for j in range(i + 1, len(msgs)):
+                a, b = msgs[i], msgs[j]
+                ca, cb = a.communication, b.communication
+                if ca == cb or not _overlaps(a, b):
+                    continue
+                if shared_links(routing, ca, cb):
+                    brute.add(ContentionEvent.of(ca, cb))
+        assert {v.event for v in cert.violations} == brute
+        assert cert.contention_free == (not brute)
