@@ -67,3 +67,71 @@ def test_flit_hop_rate(show, program16):
     rate = result.flit_hops / max(elapsed, 1e-9)
     show(f"engine rate: {rate:,.0f} flit-hops/s over {result.flit_hops} hops")
     assert result.flit_hops > 0
+
+
+def _deep_queue_program(n=2, messages=200, size=64):
+    """One process fires every send back to back (no blocking receives
+    between them), so its NIC queue goes hundreds of packets deep while
+    the single mesh link drains slowly — the workload that made the old
+    O(total-queued) ``Engine.next_inject_time`` scan quadratic."""
+    from repro.workloads.events import Program, RecvEvent, SendEvent
+
+    sends = tuple(SendEvent(dest=1, size_bytes=size) for _ in range(messages))
+    recvs = tuple(RecvEvent(source=0) for _ in range(messages))
+    return Program(name="deep-queue", num_processes=n, events=(sends, recvs))
+
+
+def test_idle_advance_deep_queues(show):
+    """Exercise idle-cycle advancement against deep NIC queues.
+
+    ``Engine.next_inject_time`` now binary-searches one cached sorted
+    list per NIC instead of rebuilding a list over every queued packet
+    each stalled cycle, so this stays flat as queues deepen.
+    """
+    import time
+
+    program = _deep_queue_program()
+    t0 = time.perf_counter()
+    result = simulate(program, mesh(2, 1), SimConfig(max_cycles=5_000_000))
+    elapsed = time.perf_counter() - t0
+    show(
+        f"deep-queue drain: {result.execution_cycles} cycles in "
+        f"{elapsed:.3f}s ({result.execution_cycles / max(elapsed, 1e-9):,.0f} "
+        "cycles/s)"
+    )
+    assert result.delivered_packets == 200
+
+
+def test_obs_disabled_and_enabled_overhead(show, program16):
+    """Compare engine time with observability absent vs fully enabled.
+
+    The disabled path must stay within the <2% budget of the plain
+    engine (hot paths gate on one cached boolean); the enabled path
+    reports what full collection costs.  Results must be identical in
+    every mode.
+    """
+    import time
+
+    from repro.obs import enabled_observability
+
+    cfg = SimConfig(max_cycles=5_000_000)
+
+    def best_of(n, **kwargs):
+        best, result = float("inf"), None
+        for _ in range(n):
+            t0 = time.perf_counter()
+            result = simulate(program16, mesh(4, 4), cfg, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    base_s, base = best_of(3)
+    off_s, off = best_of(3, obs=None)
+    on_s, on = best_of(3, obs=enabled_observability(sample_every=128))
+
+    show(
+        f"no obs: {base_s:.3f}s, disabled obs: {off_s:.3f}s "
+        f"({100 * (off_s / base_s - 1):+.1f}%), enabled obs: {on_s:.3f}s "
+        f"({100 * (on_s / base_s - 1):+.1f}%)"
+    )
+    assert base.execution_cycles == off.execution_cycles == on.execution_cycles
+    assert base.flit_hops == off.flit_hops == on.flit_hops

@@ -9,7 +9,13 @@ Commands:
 * ``cross-workload`` — the Section 4.2 robustness study.
 * ``resilience`` — fault-injection campaign: degradation of generated
   networks vs baselines under link/switch failures.
+* ``profile`` — run one benchmark fully observed and print a
+  phase/time/counter breakdown (see ``docs/OBSERVABILITY.md``).
 * ``cache`` — inspect or clear the on-disk evaluation result cache.
+
+``synthesize``, ``simulate`` and ``profile`` accept ``--trace``
+(``--trace-out`` for synthesize) and ``--metrics-out`` to export the
+run's trace (JSONL or Chrome trace JSON) and metrics snapshot.
 
 The grid-shaped commands (figure7/figure8/cross-workload/resilience)
 accept ``--jobs N`` to fan cells out over a process pool, ``--no-cache``
@@ -61,6 +67,44 @@ def _runner_kwargs(args) -> dict:
     }
 
 
+def _add_obs_options(cmd: argparse.ArgumentParser, trace_flag: str = "--trace") -> None:
+    """Shared observability output flags (``synthesize`` already uses
+    ``--trace`` for its input trace file, so it takes ``--trace-out``)."""
+    cmd.add_argument(
+        trace_flag, dest="trace_out", default=None, metavar="PATH",
+        help="write a trace of the run (.jsonl for JSONL, anything else "
+        "for Chrome trace JSON viewable in chrome://tracing or Perfetto)",
+    )
+    cmd.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the collected metrics snapshot as JSON",
+    )
+    cmd.add_argument(
+        "--sample-every", type=int, default=128, metavar="CYCLES",
+        help="cycles between simulator occupancy samples (default 128)",
+    )
+
+
+def _obs_from(args):
+    """An enabled bundle when any obs output was requested, else None."""
+    from repro.obs import enabled_observability
+
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    return enabled_observability(sample_every=args.sample_every)
+
+
+def _write_obs(args, obs) -> None:
+    if obs is None:
+        return
+    if args.trace_out:
+        obs.tracer.write(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        obs.metrics.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument(
         "--floorplan", action="store_true", help="also place and render the result"
     )
+    _add_obs_options(syn, trace_flag="--trace-out")
 
     sim = sub.add_parser("simulate", help="replay a benchmark on a topology")
     sim.add_argument("--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp"))
@@ -92,6 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("crossbar", "mesh", "torus", "generated"),
     )
     sim.add_argument("--seed", type=int, default=0)
+    _add_obs_options(sim)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one benchmark fully observed; print a phase/time/counter table",
+    )
+    prof.add_argument(
+        "--benchmark", default="cg", choices=("bt", "cg", "fft", "mg", "sp")
+    )
+    prof.add_argument("--nodes", type=int, default=8)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--restarts", type=int, default=8)
+    prof.add_argument(
+        "--topologies",
+        default="crossbar,mesh,torus,generated",
+        help="comma-separated topology kinds to simulate",
+    )
+    prof.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    prof.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default .repro-cache)",
+    )
+    _add_obs_options(prof)
 
     for name in ("figure7", "figure8"):
         fig = sub.add_parser(name, help=f"regenerate the paper's {name}")
@@ -161,11 +232,13 @@ def _cmd_synthesize(args) -> int:
         pattern = benchmark(args.benchmark, args.nodes).pattern
     else:
         pattern = extract_pattern(read_trace(args.trace))
+    obs = _obs_from(args)
     design = generate_network(
         pattern,
         constraints=DesignConstraints(max_degree=args.max_degree),
         seed=args.seed,
         restarts=args.restarts,
+        obs=obs,
     )
     print(design.network.describe())
     print(f"contention-free: {design.certificate.contention_free}")
@@ -175,19 +248,48 @@ def _cmd_synthesize(args) -> int:
         f"processor moves: {design.result.processor_moves}"
     )
     if args.floorplan:
-        plan = place(design.network, seed=args.seed)
+        plan = place(design.network, seed=args.seed, obs=obs)
         print()
         print(plan.render())
         print(f"link area: {plan.total_link_area} (feasible: {plan.feasible})")
+    _write_obs(args, obs)
     return 0
 
 
 def _cmd_simulate(args) -> int:
     from repro.eval import prepare, run_performance
 
+    obs = _obs_from(args)
     setup = prepare(args.benchmark, args.nodes, seed=args.seed)
-    results = run_performance(setup, kinds=(args.topology,))
+    results = run_performance(setup, kinds=(args.topology,), obs=obs)
     print(results[args.topology].summary())
+    _write_obs(args, obs)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache
+    from repro.obs.profile import run_profile
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    kinds = tuple(k.strip() for k in args.topologies.split(",") if k.strip())
+    known = ("generated", "mesh", "torus", "crossbar")
+    unknown = [k for k in kinds if k not in known]
+    if unknown:
+        raise ReproError(f"unknown topology kinds {unknown}; choose from {known}")
+    report = run_profile(
+        args.benchmark,
+        args.nodes,
+        seed=args.seed,
+        restarts=args.restarts,
+        kinds=kinds,
+        cache=cache,
+        sample_every=args.sample_every,
+    )
+    print(report.render())
+    _write_obs(args, report.obs)
     return 0
 
 
@@ -320,6 +422,7 @@ def _cmd_inspect(args) -> int:
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
     "figure7": _cmd_figure7,
     "figure8": _cmd_figure8,
     "cross-workload": _cmd_cross_workload,

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.eval.serialize import canonical_json, config_to_dict, result_to_dict
+from repro.obs import DISABLED, Observability
 from repro.faults.repair import repair_routes
 from repro.faults.spec import FaultScenario, LinkFault, SwitchFault
 from repro.faults.state import FaultState
@@ -63,7 +64,9 @@ from repro.workloads.events import Program, SendEvent
 
 # Bump to invalidate every cached entry after a change that alters
 # simulation or synthesis results without changing any input.
-CACHE_SCHEMA = 1
+# Schema 2: link utilization normalized over simulated cycles
+# (including the post-completion drain) instead of execution cycles.
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -292,9 +295,13 @@ class PerformanceCell:
             }
         )
 
-    def compute(self) -> dict:
+    def compute(self, obs: Optional[Observability] = None) -> dict:
         result = simulate(
-            self.program, self.topology, self.config, link_delays=self.link_delays
+            self.program,
+            self.topology,
+            self.config,
+            link_delays=self.link_delays,
+            obs=obs,
         )
         return result_to_dict(result)
 
@@ -332,7 +339,7 @@ class ResilienceCell:
             }
         )
 
-    def compute(self) -> dict:
+    def compute(self, obs: Optional[Observability] = None) -> dict:
         pairs = self.program.communication_pairs()
         if self.scenario is None:
             result = simulate(
@@ -341,6 +348,7 @@ class ResilienceCell:
                 self.config,
                 link_delays=self.link_delays,
                 routing=BoundSourceRouted(self.topology.routing, self.topology.network),
+                obs=obs,
             )
             return {"status": "baseline", "result": result_to_dict(result)}
         repair = repair_routes(self.topology, self.scenario, pairs=pairs)
@@ -366,6 +374,7 @@ class ResilienceCell:
             link_delays=self.link_delays,
             routing=BoundSourceRouted(repair.routing, self.topology.network),
             fault_state=FaultState(self.topology.network, self.scenario),
+            obs=obs,
         )
         return {
             "status": "ok",
@@ -402,8 +411,14 @@ def print_progress(outcome: CellOutcome, index: int, total: int) -> None:
     print(f"[{index}/{total}] {outcome.label}: {status}", file=sys.stderr, flush=True)
 
 
-def _execute_cell(cell: Cell, cache_root: Optional[str]) -> CellOutcome:
-    """Run one cell (worker side): consult the cache, compute on miss."""
+def _execute_cell(
+    cell: Cell, cache_root: Optional[str], obs: Optional[Observability] = None
+) -> CellOutcome:
+    """Run one cell (worker side): consult the cache, compute on miss.
+
+    ``obs`` is only threaded on in-process (serial) execution — an
+    observability bundle cannot cross the process-pool boundary.
+    """
     started = time.perf_counter()
     key = cell.key()
     if cache_root is not None:
@@ -416,7 +431,7 @@ def _execute_cell(cell: Cell, cache_root: Optional[str]) -> CellOutcome:
                 seconds=time.perf_counter() - started,
                 payload=cached,
             )
-    payload = cell.compute()
+    payload = cell.compute(obs=obs)
     if cache_root is not None:
         ResultCache(cache_root).put_result(key, payload)
     return CellOutcome(
@@ -428,11 +443,34 @@ def _execute_cell(cell: Cell, cache_root: Optional[str]) -> CellOutcome:
     )
 
 
+def _observe_outcome(obs: Observability, outcome: CellOutcome) -> None:
+    """Coordinator-side accounting for one executed cell.
+
+    Workers cannot carry an observability bundle across the process
+    boundary, so the coordinator re-emits each cell as a pre-timed span
+    from the :class:`CellOutcome` timing and counts cache traffic here.
+    """
+    m = obs.metrics
+    m.counter("eval.cache.lookups").inc()
+    if outcome.cache_hit:
+        m.counter("eval.cache.hits").inc()
+    else:
+        m.counter("eval.cache.misses").inc()
+    m.record_wall(f"eval.cell.{outcome.label}", outcome.seconds)
+    obs.tracer.complete(
+        "eval.cell",
+        outcome.seconds,
+        label=outcome.label,
+        cache_hit=outcome.cache_hit,
+    )
+
+
 def run_cells(
     cells: Sequence[Cell],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    obs: Optional[Observability] = None,
 ) -> List[CellOutcome]:
     """Execute every cell, serially or over a process pool.
 
@@ -440,16 +478,21 @@ def run_cells(
     callers build rows deterministically.  ``jobs=None`` (or 1) runs in
     process — the reference path the determinism harness compares
     against; ``jobs=N`` fans out over N workers; ``jobs<=0`` uses every
-    core.
+    core.  ``obs`` records cache hit/miss counters and one span per
+    cell (coordinator side only — payloads are never touched, so
+    observability cannot perturb the determinism guarantee).
     """
+    obs = obs if obs is not None else DISABLED
     cache_root = str(cache.root) if cache is not None else None
     workers = resolve_jobs(jobs)
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
     if workers is None or total <= 1:
         for i, cell in enumerate(cells):
-            outcome = _execute_cell(cell, cache_root)
+            outcome = _execute_cell(cell, cache_root, obs=obs if obs.enabled else None)
             outcomes[i] = outcome
+            if obs.enabled:
+                _observe_outcome(obs, outcome)
             if progress is not None:
                 progress(outcome, i + 1, total)
         return [o for o in outcomes if o is not None]
@@ -466,6 +509,8 @@ def run_cells(
                 outcome = fut.result()
                 outcomes[futures[fut]] = outcome
                 done += 1
+                if obs.enabled:
+                    _observe_outcome(obs, outcome)
                 if progress is not None:
                     progress(outcome, done, total)
     return [o for o in outcomes if o is not None]

@@ -11,6 +11,7 @@ from functools import lru_cache
 from typing import Dict, Optional
 
 from repro.floorplan.place import Floorplan, place
+from repro.obs import DISABLED, Observability
 from repro.simulator.config import SimConfig
 from repro.simulator.simulation import simulate
 from repro.simulator.stats import SimulationResult
@@ -57,39 +58,73 @@ class BenchmarkSetup:
         return None
 
 
-@lru_cache(maxsize=None)
-def prepare(name: str, n: int, seed: int = 0, restarts: int = 8) -> BenchmarkSetup:
-    """Build (and cache) the full setup for one benchmark at size n."""
-    bench = benchmark(name, n)
-    design = generate_network(bench.pattern, seed=seed, restarts=restarts)
-    plan = place(design.network, seed=seed)
+def _build_setup(
+    name: str, n: int, seed: int, restarts: int, obs: Observability
+) -> BenchmarkSetup:
+    tracer = obs.tracer
+    with tracer.span("setup.benchmark", benchmark=name, n=n):
+        bench = benchmark(name, n)
+    with tracer.span("setup.synthesize", benchmark=name, n=n, seed=seed):
+        design = generate_network(bench.pattern, seed=seed, restarts=restarts, obs=obs)
+    with tracer.span("setup.floorplan", benchmark=name, n=n, seed=seed):
+        plan = place(design.network, seed=seed, obs=obs)
+    with tracer.span("setup.baselines", n=n):
+        baselines = {
+            "crossbar": crossbar(n),
+            "mesh": mesh_for(n),
+            "torus": torus_for(n),
+        }
     return BenchmarkSetup(
         benchmark=bench,
         design=design,
         floorplan=plan,
-        baselines={
-            "crossbar": crossbar(n),
-            "mesh": mesh_for(n),
-            "torus": torus_for(n),
-        },
+        baselines=baselines,
     )
+
+
+@lru_cache(maxsize=None)
+def _prepare_cached(name: str, n: int, seed: int, restarts: int) -> BenchmarkSetup:
+    return _build_setup(name, n, seed, restarts, DISABLED)
+
+
+def prepare(
+    name: str,
+    n: int,
+    seed: int = 0,
+    restarts: int = 8,
+    obs: Optional[Observability] = None,
+) -> BenchmarkSetup:
+    """Build (and cache) the full setup for one benchmark at size n.
+
+    With observability enabled the in-process memo is bypassed — a
+    profiled setup must actually run its synthesis and placement phases
+    to have anything to measure (synthesis is deterministic per seed, so
+    the rebuilt setup is identical to a memoized one).
+    """
+    if obs is None or not obs.enabled:
+        return _prepare_cached(name, n, seed, restarts)
+    return _build_setup(name, n, seed, restarts, obs)
 
 
 def run_performance(
     setup: BenchmarkSetup,
     config: Optional[SimConfig] = None,
     kinds: tuple = TOPOLOGY_ORDER,
+    obs: Optional[Observability] = None,
 ) -> Dict[str, SimulationResult]:
     """Simulate the benchmark's program on each requested topology."""
     config = config or SimConfig()
+    obs = obs if obs is not None else DISABLED
     results = {}
     for kind in kinds:
-        results[kind] = simulate(
-            setup.benchmark.program,
-            setup.topology(kind),
-            config,
-            link_delays=setup.link_delays(kind),
-        )
+        with obs.tracer.span("eval.performance", benchmark=setup.name, kind=kind):
+            results[kind] = simulate(
+                setup.benchmark.program,
+                setup.topology(kind),
+                config,
+                link_delays=setup.link_delays(kind),
+                obs=obs,
+            )
     return results
 
 

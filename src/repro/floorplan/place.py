@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FloorplanError
 from repro.floorplan.tiles import Cell, Corner, TileGrid, manhattan
+from repro.obs import DISABLED, Observability
 from repro.synthesis.annealing import AnnealSchedule, SimulatedAnnealing
 from repro.topology.network import Network
 
@@ -102,6 +103,7 @@ def place(
     grid: Optional[TileGrid] = None,
     seed: int = 0,
     schedule: Optional[AnnealSchedule] = None,
+    obs: Optional[Observability] = None,
 ) -> Floorplan:
     """Place a network on a tile grid, minimizing link area.
 
@@ -110,6 +112,7 @@ def place(
     otherwise — callers should check :attr:`Floorplan.feasible`.
     """
     network.validate()
+    obs = obs if obs is not None else DISABLED
     if grid is None:
         grid = _default_grid(network.num_processors)
     if grid.num_cells < network.num_processors:
@@ -155,9 +158,15 @@ def place(
         rng = random.Random(seed * _RESTARTS + restart)
         initial = _initial_placement(network, grid, rng)
         sa = SimulatedAnnealing(
-            energy, neighbor, sched, seed=seed * _RESTARTS + restart
+            energy,
+            neighbor,
+            sched,
+            seed=seed * _RESTARTS + restart,
+            obs=obs,
+            label="floorplan.anneal",
         )
-        candidate, _ = sa.run(initial)
+        with obs.tracer.span("floorplan.restart", restart=restart):
+            candidate, _ = sa.run(initial)
         if _violations(network, grid, candidate) > 0:
             # Local repair only when the annealer left violations; a
             # feasible placement must not be perturbed.
@@ -169,6 +178,11 @@ def place(
         if best_key is None or key < best_key:
             best, best_key = candidate, key
     assert best is not None  # _RESTARTS >= 1
+    if obs.metrics.enabled:
+        obs.metrics.gauge("floorplan.link_area").set(_link_area(network, best))
+        obs.metrics.gauge("floorplan.violations").set(
+            _violations(network, grid, best)
+        )
     link_costs = {
         link.link_id: manhattan(
             best.switch_corner[link.u], best.switch_corner[link.v]

@@ -24,6 +24,7 @@ import heapq
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import DISABLED, Observability
 from repro.simulator.config import SimConfig
 from repro.simulator.fabric import Channel, InputVC, Nic, Router
 from repro.simulator.packet import ChannelId, Flit, Packet
@@ -50,6 +51,7 @@ class Engine:
         config: SimConfig,
         link_delays: Optional[Dict[int, int]] = None,
         fault_state: Optional["FaultState"] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         topology.network.validate()
         self.topology = topology
@@ -79,6 +81,28 @@ class Engine:
         self._delivery_observers: List[DeliveryHandler] = []
         self._channel_busy_cycles: Dict[ChannelId, int] = {}
         self._last_transition_seen = -1
+        # Highest cycle this engine has simulated, plus one — the busy
+        # window link-utilization fractions normalize over (covers the
+        # drain after the last process finishes, so utilization stays
+        # in [0, 1] even for trailing-send programs).
+        self.cycles_simulated = 0
+        self.obs = obs if obs is not None else DISABLED
+        # Cached flag: hot paths pay one attribute load, nothing more,
+        # when observability is disabled.
+        self._obs_on = self.obs.enabled
+        self._next_sample = 0
+        if self._obs_on:
+            m = self.obs.metrics
+            self._c_flits_injected = m.counter("sim.flits_injected")
+            self._c_flit_hops = m.counter("sim.flit_hops")
+            self._c_delivered = m.counter("sim.packets_delivered")
+            self._c_deadlocks = m.counter("sim.deadlocks")
+            self._c_retransmissions = m.counter("sim.retransmissions")
+            self._c_fault_kills = m.counter("sim.fault_kills")
+            self._c_credit_stalls = m.counter("sim.credit_stalls")
+            self._h_latency = m.histogram("sim.packet_latency_cycles")
+            self._s_flits = m.series("sim.flits_in_network")
+            self._s_active_routers = m.series("sim.active_routers")
 
     # -- construction ---------------------------------------------------
 
@@ -149,11 +173,18 @@ class Engine:
         return self._heap[0][0] if self._heap else None
 
     def next_inject_time(self, after: int) -> Optional[int]:
-        """Earliest queued inject time strictly greater than ``after``."""
-        times = [
-            c for nic in self.nics.values() for c in nic.pending_inject_cycles() if c > after
-        ]
-        return min(times) if times else None
+        """Earliest queued inject time strictly greater than ``after``.
+
+        Each NIC keeps its queued inject times sorted, so this is a
+        binary search per NIC instead of a scan over every queued
+        packet — the idle-advance path of deep-queue programs.
+        """
+        best: Optional[int] = None
+        for nic in self.nics.values():
+            t = nic.next_inject_after(after)
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
 
     def has_queued_packets(self) -> bool:
         return any(nic.queue or nic.streaming for nic in self.nics.values())
@@ -191,6 +222,10 @@ class Engine:
 
     def step(self, t: int) -> bool:
         """Simulate cycle ``t``; returns whether any flit moved."""
+        if t >= self.cycles_simulated:
+            self.cycles_simulated = t + 1
+        if self._obs_on and t >= self._next_sample:
+            self._sample_window(t)
         self._cross_fault_transitions(t)
         moved = False
         moved |= self._deliver_events(t)
@@ -201,6 +236,22 @@ class Engine:
         elif self.flits_in_network > 0 and t - self.last_progress >= self.config.deadlock_threshold:
             self._recover_deadlock(t)
         return moved
+
+    def _sample_window(self, t: int) -> None:
+        """Record the per-window gauges (flits in flight, router
+        activity, per-channel occupancy) at simulated cycle ``t``."""
+        self._next_sample = t + self.obs.sample_every
+        self._s_flits.append(t, self.flits_in_network)
+        self._s_active_routers.append(t, len(self._active_routers))
+        m = self.obs.metrics
+        if m.enabled:
+            for cid in sorted(self.channels):
+                occupancy = self.channels[cid].busy_vcs()
+                if occupancy or cid in self._channel_busy_cycles:
+                    name = "sim.channel_occupancy." + ":".join(
+                        str(part) for part in cid
+                    )
+                    m.series(name).append(t, occupancy)
 
     def _deliver_events(self, t: int) -> bool:
         moved = False
@@ -251,6 +302,9 @@ class Engine:
         packet.delivered = True
         self.delivered_packets += 1
         self.packet_latencies.append(t - packet.inject_cycle)
+        if self._obs_on:
+            self._c_delivered.inc()
+            self._h_latency.observe(t - packet.inject_cycle)
         if self._delivery_handler is not None:
             self._delivery_handler(packet.source, packet.dest, packet.seq, t)
         for observer in self._delivery_observers:
@@ -311,6 +365,9 @@ class Engine:
                     continue  # channel failed after allocation: stall
                 if self.channels[out_cid].credits[out_vc] > 0:
                     requests.setdefault(out_cid, []).append(idx)
+                elif self._obs_on:
+                    # Allocated VC but no credit: back-pressure stall.
+                    self._c_credit_stalls.inc()
             for out_cid in sorted(requests):
                 winner_idx = router.arbitrate(out_cid, requests[out_cid])
                 cid, vc, ivc = active[winner_idx]
@@ -324,6 +381,8 @@ class Engine:
                     self._channel_busy_cycles.get(out_cid, 0) + 1
                 )
                 self.flit_hops += 1
+                if self._obs_on:
+                    self._c_flit_hops.inc()
                 moved = True
                 if flit.is_tail:
                     ivc.assignment = None
@@ -347,7 +406,7 @@ class Engine:
                     if vc is not None:
                         channel.owner[vc] = pkt.packet_id
                         nic.streaming = (pkt, vc)
-                        nic.queue.remove(pkt)
+                        nic.dequeue(pkt)
             if nic.streaming is not None:
                 pkt, vc = nic.streaming
                 if channel.credits[vc] > 0:
@@ -359,10 +418,15 @@ class Engine:
                         self._channel_busy_cycles.get(nic.inject_channel, 0) + 1
                     )
                     self.flits_in_network += 1
+                    if self._obs_on:
+                        self._c_flits_injected.inc()
                     moved = True
                     if flit.is_tail:
                         nic.streaming = None
                         channel.owner[vc] = None
+                elif self._obs_on:
+                    # Streaming NIC blocked on the inject channel credit.
+                    self._c_credit_stalls.inc()
         return moved
 
     # -- regressive recovery ---------------------------------------------
@@ -382,6 +446,15 @@ class Engine:
             )
         victim = max(stuck, key=lambda pkt: (pkt.inject_cycle, pkt.packet_id))
         self.deadlocks_detected += 1
+        if self._obs_on:
+            self._c_deadlocks.inc()
+            self.obs.tracer.event(
+                "sim.deadlock",
+                cycle=t,
+                packet=victim.packet_id,
+                source=victim.source,
+                dest=victim.dest,
+            )
         self._kill_packet(victim)
         self._retransmit(victim, t)
         self.last_progress = t
@@ -392,6 +465,15 @@ class Engine:
         if packet.killed or packet.delivered:
             return
         self.fault_packet_kills += 1
+        if self._obs_on:
+            self._c_fault_kills.inc()
+            self.obs.tracer.event(
+                "sim.fault_kill",
+                cycle=t,
+                packet=packet.packet_id,
+                source=packet.source,
+                dest=packet.dest,
+            )
         self._kill_packet(packet)
         self._retransmit(packet, t)
 
@@ -435,6 +517,15 @@ class Engine:
         self._packets[replacement.packet_id] = replacement
         self.nics[victim.source].enqueue(replacement)
         self.retransmissions += 1
+        if self._obs_on:
+            self._c_retransmissions.inc()
+            self.obs.tracer.event(
+                "sim.retransmit",
+                cycle=t,
+                packet=victim.packet_id,
+                replacement=replacement.packet_id,
+                inject_cycle=replacement.inject_cycle,
+            )
 
     def _has_presence(self, pkt: Packet) -> bool:
         """Whether killing the packet could free network resources: it
@@ -443,8 +534,18 @@ class Engine:
 
     # -- stats ---------------------------------------------------------------
 
-    def link_utilization(self, total_cycles: int) -> Dict[ChannelId, float]:
-        """Busy fraction per channel over ``total_cycles``."""
+    def link_utilization(
+        self, total_cycles: Optional[int] = None
+    ) -> Dict[ChannelId, float]:
+        """Busy fraction per channel.
+
+        Defaults to normalizing over :attr:`cycles_simulated` — the
+        window busy cycles actually accrue over, including the drain
+        after the last process finishes — so every fraction is in
+        [0, 1].  An explicit ``total_cycles`` overrides it.
+        """
+        if total_cycles is None:
+            total_cycles = self.cycles_simulated
         if total_cycles <= 0:
             return {}
         return {

@@ -9,6 +9,7 @@ and one flit per physical channel per cycle.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -150,13 +151,31 @@ class Nic:
         self.inject_channel = inject_channel
         self.queue: Deque[Packet] = deque()
         self.streaming: Optional[Tuple[Packet, int]] = None  # (packet, vc)
+        # Sorted inject times of queued packets, maintained on
+        # enqueue/dequeue so idle-advance scheduling can binary-search
+        # instead of rescanning the whole queue every stalled cycle.
+        self._inject_times: List[int] = []
 
     def enqueue(self, packet: Packet) -> None:
         self.queue.append(packet)
+        insort(self._inject_times, packet.inject_cycle)
+
+    def dequeue(self, packet: Packet) -> None:
+        """Remove a packet selected for streaming from the queue."""
+        self.queue.remove(packet)
+        idx = bisect_right(self._inject_times, packet.inject_cycle) - 1
+        # Equal times are interchangeable; remove any one slot.
+        self._inject_times.pop(idx)
 
     def pending_inject_cycles(self) -> List[int]:
         """Inject times of queued packets (for idle-skip scheduling)."""
-        return [p.inject_cycle for p in self.queue]
+        return list(self._inject_times)
+
+    def next_inject_after(self, after: int) -> Optional[int]:
+        """Earliest queued inject time strictly greater than ``after``,
+        found by binary search over the sorted time cache."""
+        idx = bisect_right(self._inject_times, after)
+        return self._inject_times[idx] if idx < len(self._inject_times) else None
 
     def abort_stream(self, packet_id: int) -> Optional[int]:
         """Stop streaming a killed packet; returns its VC if it held one."""

@@ -14,17 +14,26 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
+from repro.obs import Observability
 from repro.simulator.config import SimConfig
 from repro.simulator.engine import Engine
 from repro.simulator.routing import SimRouting
 from repro.simulator.simulation import routing_policy_for
 from repro.topology.builders import Topology
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.state import FaultState
+
 # dest = pattern(source, num_nodes, rng); returning the source resamples.
 DestinationPattern = Callable[[int, int, random.Random], int]
+
+# Bounded retries when a pattern returns the source: enough that any
+# pattern with a non-vanishing chance of another node virtually always
+# resolves, small enough that a degenerate all-self pattern stays cheap.
+_RESAMPLE_BOUND = 16
 
 
 def uniform_random(src: int, n: int, rng: random.Random) -> int:
@@ -102,18 +111,27 @@ def run_open_loop(
     link_delays: Optional[Dict[int, int]] = None,
     routing: Optional[SimRouting] = None,
     seed: int = 0,
+    fault_state: Optional["FaultState"] = None,
+    obs: Optional[Observability] = None,
 ) -> LoadPoint:
     """Measure one offered-load point.
 
     ``injection_rate`` is in flits per node per cycle; a packet is
     injected whenever a node's flit debt reaches a packet's worth
-    (deterministic, seeded destination choice).
+    (deterministic, seeded destination choice).  Patterns that return
+    the source are resampled (bounded), per the module contract, so the
+    offered load is not silently lost on self-destined draws.
     """
     if injection_rate <= 0:
         raise SimulationError(f"injection rate must be positive, got {injection_rate}")
     config = config or SimConfig()
     engine = Engine(
-        topology, routing or routing_policy_for(topology), config, link_delays
+        topology,
+        routing or routing_policy_for(topology),
+        config,
+        link_delays,
+        fault_state=fault_state,
+        obs=obs,
     )
     rng = random.Random(seed)
     n = topology.network.num_processors
@@ -139,10 +157,17 @@ def run_open_loop(
         for node in range(n):
             debt[node] += injection_rate
             if debt[node] >= flits_per_packet:
-                debt[node] -= flits_per_packet
                 dest = pattern(node, n, rng)
+                for _ in range(_RESAMPLE_BOUND):
+                    if dest != node:
+                        break
+                    dest = pattern(node, n, rng)
                 if dest == node:
+                    # Degenerate pattern (only ever returns the source):
+                    # keep the flit debt so the offered load is carried
+                    # forward, not silently dropped.
                     continue
+                debt[node] -= flits_per_packet
                 key = (node, dest)
                 seq = seqs.get(key, 0)
                 seqs[key] = seq + 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import SimulationError
+from repro.obs import Observability
 from repro.simulator.config import SimConfig
 from repro.simulator.engine import Engine
 from repro.simulator.process import ProcessReplay
@@ -42,6 +43,7 @@ def simulate(
     link_delays: Optional[Dict[int, int]] = None,
     routing: Optional[SimRouting] = None,
     fault_state: Optional["FaultState"] = None,
+    obs: Optional[Observability] = None,
 ) -> SimulationResult:
     """Replay ``program`` on ``topology`` and collect statistics.
 
@@ -56,6 +58,10 @@ def simulate(
         fault_state: optional fault scenario to inject; pair it with a
             repaired routing (:mod:`repro.faults.repair`) so permanent
             faults are routed around rather than retried forever.
+        obs: optional observability bundle; when enabled the engine
+            records per-window gauges, stall counters, and
+            deadlock/retransmission/fault events (see
+            ``docs/OBSERVABILITY.md``).  Never changes results.
 
     Raises:
         SimulationError: on unmatched receives (the program blocks
@@ -68,25 +74,34 @@ def simulate(
         config,
         link_delays=link_delays,
         fault_state=fault_state,
+        obs=obs,
     )
     replay = ProcessReplay(program, engine, config)
+    tracer = engine.obs.tracer
 
-    t = 0
-    replay.run_ready()
-    while not replay.all_done() or engine.busy():
-        if t > config.max_cycles:
-            raise SimulationError(
-                f"simulation exceeded {config.max_cycles} cycles "
-                f"({program.name} on {topology.name}); likely livelock"
-            )
-        moved = engine.step(t)
-        if moved:
-            replay.run_ready()
-        if not moved:
-            t = _advance(engine, replay, t)
-        else:
-            t += 1
+    with tracer.span(
+        "simulate.run", program=program.name, topology=topology.name
+    ):
+        t = 0
+        replay.run_ready()
+        while not replay.all_done() or engine.busy():
+            if t > config.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {config.max_cycles} cycles "
+                    f"({program.name} on {topology.name}); likely livelock"
+                )
+            moved = engine.step(t)
+            if moved:
+                replay.run_ready()
+            if not moved:
+                t = _advance(engine, replay, t)
+            else:
+                t += 1
 
+    if engine.obs.enabled:
+        m = engine.obs.metrics
+        m.gauge("sim.execution_cycles").set(replay.execution_cycles())
+        m.gauge("sim.cycles_simulated").set(engine.cycles_simulated)
     return SimulationResult(
         topology_name=topology.name,
         program_name=program.name,
@@ -97,7 +112,10 @@ def simulate(
         retransmissions=engine.retransmissions,
         fault_packet_kills=engine.fault_packet_kills,
         flit_hops=engine.flit_hops,
-        link_utilization=engine.link_utilization(max(1, replay.execution_cycles())),
+        # Normalized over the cycles the engine actually simulated
+        # (including the post-completion drain), so a trailing-send
+        # program cannot report a busy fraction above 1.0.
+        link_utilization=engine.link_utilization(),
         config=config,
         packet_latencies=tuple(engine.packet_latencies),
     )

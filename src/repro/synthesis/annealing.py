@@ -16,6 +16,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Generic, Optional, Tuple, TypeVar
 
+from repro.obs import DISABLED, Observability
+
 State = TypeVar("State")
 
 
@@ -58,11 +60,15 @@ class SimulatedAnnealing(Generic[State]):
         neighbor: Callable[[State, random.Random], State],
         schedule: Optional[AnnealSchedule] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
+        label: str = "anneal",
     ) -> None:
         self._energy = energy
         self._neighbor = neighbor
         self._schedule = schedule or AnnealSchedule()
         self._rng = random.Random(seed)
+        self._obs = obs if obs is not None else DISABLED
+        self._label = label
 
     def run(self, initial: State) -> Tuple[State, float]:
         """Anneal from ``initial``; returns ``(best state, best energy)``."""
@@ -71,14 +77,32 @@ class SimulatedAnnealing(Generic[State]):
         current_e = self._energy(current)
         best, best_e = current, current_e
         temperature = sched.initial_temperature
+        record = self._obs.metrics.enabled
+        if record:
+            m = self._obs.metrics
+            accepted = m.counter(f"{self._label}.accepted")
+            accepted_worse = m.counter(f"{self._label}.accepted_worse")
+            rejected = m.counter(f"{self._label}.rejected")
+            temp_series = m.series(f"{self._label}.temperature")
+            energy_series = m.series(f"{self._label}.energy")
         for step in range(sched.steps):
             candidate = self._neighbor(current, self._rng)
             cand_e = self._energy(candidate)
             if cand_e <= current_e or self._accept_worse(cand_e - current_e, temperature):
+                if record:
+                    accepted.inc()
+                    if cand_e > current_e:
+                        accepted_worse.inc()
                 current, current_e = candidate, cand_e
                 if current_e < best_e:
                     best, best_e = current, current_e
+            elif record:
+                rejected.inc()
             if (step + 1) % sched.moves_per_temperature == 0:
+                if record:
+                    # One point per temperature level, in step coordinates.
+                    temp_series.append(step + 1, temperature)
+                    energy_series.append(step + 1, current_e)
                 temperature *= sched.cooling
         return best, best_e
 

@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.model.cliques import CliqueAnalysis, permutation_violations
+from repro.obs import DISABLED, Observability
 from repro.model.message import Communication
 from repro.model.pattern import CommunicationPattern
 from repro.model.theorem import ContentionCertificate, check_contention_free
@@ -105,6 +106,7 @@ def generate_network(
     restarts: int = 16,
     reroute: bool = True,
     moves: bool = True,
+    obs: Optional[Observability] = None,
 ) -> GeneratedDesign:
     """Run the full design methodology on a communication pattern.
 
@@ -119,15 +121,20 @@ def generate_network(
             temperature restarts.
         reroute: enable the global route optimizer (ablation knob).
         moves: enable inter-partition processor moves (ablation knob).
+        obs: optional observability bundle — per-restart spans,
+            bisection/route-move counters, and ``Fast_Color`` vs exact
+            coloring gap events (``docs/OBSERVABILITY.md``).
 
     Returns:
         The best design found, by (total links, switch count).
     """
     if restarts < 1:
         raise SynthesisError(f"need at least one restart, got {restarts}")
+    obs = obs if obs is not None else DISABLED
     constraints = constraints or DesignConstraints()
-    analysis = CliqueAnalysis.of(pattern)
-    violations = permutation_violations(analysis.max_cliques)
+    with obs.tracer.span("synthesis.analyze", pattern=pattern.name):
+        analysis = CliqueAnalysis.of(pattern)
+        violations = permutation_violations(analysis.max_cliques)
     if violations:
         clique, reason = violations[0]
         raise SynthesisError(
@@ -142,15 +149,18 @@ def generate_network(
     failures: List[str] = []
     for i in range(restarts):
         try:
-            result = Partitioner(
-                analysis,
-                constraints=constraints,
-                seed=seed + i,
-                reroute=reroute,
-                moves=moves,
-            ).run()
+            with obs.tracer.span("synthesis.restart", seed=seed + i):
+                result = Partitioner(
+                    analysis,
+                    constraints=constraints,
+                    seed=seed + i,
+                    reroute=reroute,
+                    moves=moves,
+                    obs=obs,
+                ).run()
         except SynthesisError as exc:
             failures.append(f"seed {seed + i}: {exc}")
+            obs.metrics.counter("synthesis.failed_restarts").inc()
             continue
         score = (result.total_links(), len(result.state.switches))
         if best is None or score < best[0]:
@@ -161,7 +171,13 @@ def generate_network(
             + "\n  ".join(failures)
         )
     _, best_seed, result = best
-    return _materialize(pattern, analysis, result, best_seed)
+    if obs.metrics.enabled:
+        m = obs.metrics
+        m.gauge("synthesis.best_seed").set(best_seed)
+        m.gauge("synthesis.total_links").set(result.total_links())
+        m.gauge("synthesis.switches").set(len(result.state.switches))
+    with obs.tracer.span("synthesis.materialize", seed=best_seed):
+        return _materialize(pattern, analysis, result, best_seed)
 
 
 def _materialize(

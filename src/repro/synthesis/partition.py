@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.errors import SynthesisError
 from repro.model.cliques import CliqueAnalysis
 from repro.model.message import Communication
+from repro.obs import DISABLED, Observability
 from repro.synthesis.best_route import best_route
 from repro.synthesis.coloring import exact_coloring
 from repro.synthesis.conflict_graph import build_conflict_graph
@@ -118,6 +119,7 @@ class Partitioner:
         reroute: bool = True,
         moves: bool = True,
         anneal: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.analysis = analysis
         self.constraints = constraints or DesignConstraints()
@@ -125,6 +127,7 @@ class Partitioner:
         self.reroute = reroute
         self.moves = moves
         self.anneal = anneal
+        self.obs = obs if obs is not None else DISABLED
         self.rng = random.Random(seed)
         # Each bisection adds a switch; N-1 splits reach one processor
         # per switch, the finest possible partition.  A small multiple
@@ -136,15 +139,27 @@ class Partitioner:
         exhausted; raises :class:`SynthesisError` when infeasible."""
         state = SynthesisState.initial(self.analysis)
         result = PartitionResult(state=state, pipe_finals={})
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        c_bisections = metrics.counter("synthesis.bisections")
+        c_route_moves = metrics.counter("synthesis.route_moves")
+        c_proc_moves = metrics.counter("synthesis.processor_moves")
         while True:
             violators = self._estimate_violators(state)
             if violators and self.reroute:
                 # Multi-hop route optimization can satisfy constraints
                 # without creating more switches (see reroute module).
-                result.route_moves += reduce_degree_violations(state, self.constraints)
+                rerouted = reduce_degree_violations(state, self.constraints)
+                result.route_moves += rerouted
+                c_route_moves.inc(rerouted)
                 violators = self._estimate_violators(state)
             if not violators:
-                finals = finalize_pipes(state)
+                with tracer.span(
+                    "synthesis.color",
+                    pipes=len(state.pipes()),
+                    switches=len(state.switches),
+                ):
+                    finals = finalize_pipes(state)
                 result.pipe_finals = finals
                 result.connectivity_links = self._connectivity_plan(state)
                 self._record_estimate_gaps(state, result)
@@ -163,6 +178,8 @@ class Partitioner:
                     rerouted = reduce_degree_violations(state, self.constraints)
                     result.processor_moves += escaped
                     result.route_moves += rerouted
+                    c_proc_moves.inc(escaped)
+                    c_route_moves.inc(rerouted)
                     if escaped + rerouted == 0:
                         break
                 if not self._estimate_violators(state):
@@ -178,19 +195,35 @@ class Partitioner:
                     "bisections; constraints may be too tight for this pattern"
                 )
             si = self.rng.choice(sorted(splittable))
-            sj = state.split_switch(si, self.rng)
-            result.bisections += 1
-            result.route_moves += best_route(state, si, sj)
-            if self.anneal and self.moves:
-                result.processor_moves += annealed_moves(state, si, sj, self.rng)
-                result.route_moves += best_route(state, si, sj)
-            while self.moves:
-                move = best_processor_move(state, si, sj)
-                if move is None:
-                    break
-                state.move_processor(move.processor, move.to_switch)
-                result.processor_moves += 1
-                result.route_moves += best_route(state, si, sj)
+            with tracer.span(
+                "synthesis.bisect",
+                level=result.bisections,
+                switch=si,
+                violators=len(violators),
+            ):
+                sj = state.split_switch(si, self.rng)
+                result.bisections += 1
+                c_bisections.inc()
+                moved = best_route(state, si, sj)
+                result.route_moves += moved
+                c_route_moves.inc(moved)
+                if self.anneal and self.moves:
+                    annealed = annealed_moves(state, si, sj, self.rng)
+                    result.processor_moves += annealed
+                    c_proc_moves.inc(annealed)
+                    moved = best_route(state, si, sj)
+                    result.route_moves += moved
+                    c_route_moves.inc(moved)
+                while self.moves:
+                    move = best_processor_move(state, si, sj)
+                    if move is None:
+                        break
+                    state.move_processor(move.processor, move.to_switch)
+                    result.processor_moves += 1
+                    c_proc_moves.inc()
+                    moved = best_route(state, si, sj)
+                    result.route_moves += moved
+                    c_route_moves.inc(moved)
 
     def _estimate_violators(self, state: SynthesisState) -> Tuple[int, ...]:
         return self.constraints.violators(state)
@@ -254,11 +287,20 @@ class Partitioner:
     def _record_estimate_gaps(
         self, state: SynthesisState, result: PartitionResult
     ) -> None:
+        metrics = self.obs.metrics
+        metrics.counter("synthesis.color.pipes").inc(len(result.pipe_finals))
         for key, final in result.pipe_finals.items():
             u, v = final.switches
             estimate = state.pipe_estimate(u, v)
             if final.width != estimate:
                 result.estimate_gap.append(((u, v), estimate, final.width))
+                metrics.counter("synthesis.color.estimate_gaps").inc()
+                self.obs.tracer.event(
+                    "synthesis.color.gap",
+                    pipe=f"{u}-{v}",
+                    estimate=estimate,
+                    exact=final.width,
+                )
 
 
 def partition(

@@ -1,0 +1,117 @@
+"""Tests for the zero-dependency metrics registry."""
+
+import json
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_instruments_shared_by_name(self):
+        m = MetricsRegistry()
+        m.counter("shared").inc()
+        m.counter("shared").inc()
+        assert m.counter("shared").value == 2
+
+    def test_gauge_last_write_wins(self):
+        m = MetricsRegistry()
+        g = m.gauge("g")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_summary_stats(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 16
+        assert h.min == 1
+        assert h.max == 10
+        assert h.mean == 4.0
+
+    def test_histogram_power_of_two_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for v in (0, 1, 2, 3, 4, 7, 8, 1024):
+            h.observe(v)
+        # [0,2) -> bucket 0 twice, [2,4) -> 1 twice, [4,8) -> 2 twice,
+        # [8,16) -> 3 once, [1024,2048) -> 10 once.
+        assert h.buckets == {0: 2, 1: 2, 2: 2, 3: 1, 10: 1}
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+    def test_series_keeps_order(self):
+        m = MetricsRegistry()
+        s = m.series("temp")
+        s.append(0, 10.0)
+        s.append(128, 9.5)
+        assert s.points == [(0, 10.0), (128, 9.5)]
+
+
+class TestDisabledRegistry:
+    def test_disabled_returns_nulls_and_records_nothing(self):
+        m = MetricsRegistry(enabled=False)
+        m.counter("c").inc(100)
+        m.gauge("g").set(5)
+        m.histogram("h").observe(3)
+        m.series("s").append(1, 2)
+        m.record_wall("w", 1.5)
+        snap = m.snapshot(include_wall=True)
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["series"] == {}
+        assert snap["wall"] == {}
+
+    def test_null_registry_shared_instruments_stay_empty(self):
+        NULL_REGISTRY.counter("anything").inc()
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+
+class TestSnapshots:
+    def _populated(self):
+        m = MetricsRegistry()
+        m.counter("b").inc(2)
+        m.counter("a").inc()
+        m.gauge("g").set(7)
+        m.histogram("h").observe(5)
+        m.series("s").append(0, 1)
+        m.record_wall("phase", 0.25)
+        return m
+
+    def test_snapshot_excludes_wall_by_default(self):
+        snap = self._populated().snapshot()
+        assert "wall" not in snap
+
+    def test_snapshot_include_wall_accumulates(self):
+        m = self._populated()
+        m.record_wall("phase", 0.75)
+        assert m.snapshot(include_wall=True)["wall"] == {"phase": 1.0}
+
+    def test_canonical_json_is_byte_stable(self):
+        a = self._populated()
+        b = self._populated()
+        # Wall clock differs between the two registries; canonical
+        # output must not.
+        b.record_wall("phase", 99.0)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_json_sorted_keys(self):
+        data = json.loads(self._populated().canonical_json())
+        assert list(data["counters"]) == ["a", "b"]
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        self._populated().write_json(str(path))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["counters"] == {"a": 1, "b": 2}
+        assert data["wall"] == {"phase": 0.25}

@@ -1,0 +1,116 @@
+"""Tests for span tracing and the Chrome-trace exporter."""
+
+import json
+
+from repro.obs import NULL_TRACER, Tracer, validate_chrome_trace
+
+
+class TestSpans:
+    def test_span_records_duration_and_args(self):
+        tr = Tracer()
+        with tr.span("phase", n=8):
+            pass
+        (span,) = tr.spans()
+        assert span["name"] == "phase"
+        assert span["args"] == {"n": 8}
+        assert span["dur_s"] >= 0.0
+
+    def test_nesting_depths(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {s["name"]: s for s in tr.spans()}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        # Inner closes first, so it is recorded first.
+        assert tr.spans()[0]["name"] == "inner"
+
+    def test_span_recorded_even_when_body_raises(self):
+        tr = Tracer()
+        try:
+            with tr.span("bad"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in tr.spans()] == ["bad"]
+        assert tr._depth == 0
+
+    def test_complete_records_pre_timed_span(self):
+        tr = Tracer()
+        tr.complete("cell", 1.25, label="cg-8/mesh")
+        (span,) = tr.spans()
+        assert span["dur_s"] == 1.25
+        assert span["start_s"] >= 0.0
+
+    def test_instant_event_carries_cycle(self):
+        tr = Tracer()
+        tr.event("sim.deadlock", cycle=400, packet=3)
+        (inst,) = tr.instants()
+        assert inst["args"] == {"packet": 3, "cycle": 400}
+
+    def test_disabled_tracer_records_nothing(self):
+        with NULL_TRACER.span("x"):
+            NULL_TRACER.event("y", cycle=1)
+        NULL_TRACER.complete("z", 1.0)
+        assert NULL_TRACER.events == []
+
+
+class TestExport:
+    def _traced(self):
+        tr = Tracer()
+        with tr.span("synthesis.bisect", level=0):
+            tr.event("synthesis.color.gap", estimate=1, exact=2)
+        return tr
+
+    def test_jsonl_one_object_per_line(self):
+        lines = self._traced().to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert len(parsed) == 2
+        assert {e["type"] for e in parsed} == {"span", "instant"}
+
+    def test_chrome_trace_validates(self):
+        trace = self._traced().chrome_trace()
+        assert validate_chrome_trace(trace) == []
+
+    def test_chrome_trace_has_metadata_and_microseconds(self):
+        tr = Tracer()
+        tr.complete("cell", 0.5)
+        trace = tr.chrome_trace(process_name="repro-test")
+        meta, span = trace["traceEvents"]
+        assert meta["ph"] == "M"
+        assert meta["args"] == {"name": "repro-test"}
+        assert span["ph"] == "X"
+        assert span["dur"] == 0.5 * 1e6
+
+    def test_write_jsonl_vs_chrome(self, tmp_path):
+        tr = self._traced()
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        tr.write(str(jsonl))
+        tr.write(str(chrome))
+        assert len(jsonl.read_text(encoding="utf-8").strip().splitlines()) == 2
+        trace = json.loads(chrome.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(trace) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_rejects_bad_phase_and_missing_fields(self):
+        trace = {"traceEvents": [{"name": "x", "ph": "Q", "pid": 0, "tid": 0}]}
+        problems = validate_chrome_trace(trace)
+        assert any("unknown phase" in p for p in problems)
+
+    def test_rejects_complete_event_without_dur(self):
+        trace = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1.0}
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("missing numeric dur" in p for p in problems)

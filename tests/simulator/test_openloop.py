@@ -1,5 +1,6 @@
 """Tests for open-loop synthetic traffic evaluation."""
 
+import itertools
 import random
 
 import pytest
@@ -77,6 +78,96 @@ class TestRunOpenLoop:
         a = run_open_loop(mesh(2, 2), 0.2, seed=5, measure_cycles=600)
         b = run_open_loop(mesh(2, 2), 0.2, seed=5, measure_cycles=600)
         assert a == b
+
+
+def _half_self_pattern():
+    """Returns the source on every other draw, uniform otherwise."""
+    calls = itertools.count()
+
+    def pattern(src: int, n: int, rng: random.Random) -> int:
+        if next(calls) % 2 == 0:
+            return src
+        return uniform_random(src, n, rng)
+
+    return pattern
+
+
+class TestSelfDrawRegression:
+    def test_self_draws_do_not_lose_offered_load(self):
+        """Regression: a pattern that sometimes returns the source must
+        be resampled, not have its packet's worth of flit debt dropped.
+        Pre-fix, the half-self pattern delivered ~half the uniform
+        pattern's packets at the same offered load."""
+        kwargs = dict(measure_cycles=1500, warmup_cycles=300, seed=3)
+        base = run_open_loop(crossbar(8), 0.2, pattern=uniform_random, **kwargs)
+        point = run_open_loop(
+            crossbar(8), 0.2, pattern=_half_self_pattern(), **kwargs
+        )
+        assert point.delivered >= 0.9 * base.delivered
+        assert point.accepted_flits_per_node_cycle == pytest.approx(
+            base.accepted_flits_per_node_cycle, rel=0.1
+        )
+
+    def test_all_self_pattern_keeps_debt_and_terminates(self):
+        """A degenerate pattern that only ever returns the source must
+        neither spin forever (resampling is bounded) nor inject."""
+        point = run_open_loop(
+            crossbar(4),
+            0.5,
+            pattern=lambda src, n, rng: src,
+            warmup_cycles=100,
+            measure_cycles=400,
+        )
+        assert point.delivered == 0
+        assert not point.saturated
+
+    def test_self_draw_resampling_stays_deterministic(self):
+        kwargs = dict(measure_cycles=600, seed=5)
+        a = run_open_loop(mesh(2, 2), 0.2, pattern=_half_self_pattern(), **kwargs)
+        b = run_open_loop(mesh(2, 2), 0.2, pattern=_half_self_pattern(), **kwargs)
+        assert a == b
+
+
+class TestFaultKillObserverOrdering:
+    def test_exactly_once_delivery_in_nondecreasing_cycle_order(self, monkeypatch):
+        """A transient link fault mid-window kills an in-flight packet;
+        its retransmission must reach the delivery observer exactly once
+        per (src, dst, seq), and observed cycles never run backwards."""
+        from repro.faults import FaultScenario, FaultState, LinkFault
+        from repro.simulator.config import SimConfig
+        from repro.simulator.engine import Engine
+
+        records = []
+        real_set = Engine.set_delivery_handler
+
+        def spying_set(self, handler):
+            def spy(src, dst, seq, cycle):
+                records.append((src, dst, seq, cycle))
+                handler(src, dst, seq, cycle)
+
+            real_set(self, spy)
+
+        monkeypatch.setattr(Engine, "set_delivery_handler", spying_set)
+        top = mesh(2, 1)
+        point = run_open_loop(
+            top,
+            0.3,
+            pattern=neighbor_pattern,
+            warmup_cycles=100,
+            measure_cycles=500,
+            drain_cycles=3000,
+            config=SimConfig(deadlock_threshold=80, max_cycles=2_000_000),
+            fault_state=FaultState(
+                top.network, FaultScenario.of(LinkFault(0, start=250, end=420))
+            ),
+        )
+        assert records, "no deliveries observed"
+        keys = [(src, dst, seq) for src, dst, seq, _ in records]
+        assert len(keys) == len(set(keys)), "a packet was delivered twice"
+        cycles = [cycle for *_, cycle in records]
+        assert cycles == sorted(cycles)
+        assert point.delivered > 0
+        assert not point.saturated
 
 
 class TestCurve:

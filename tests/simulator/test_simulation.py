@@ -116,6 +116,29 @@ class TestContentionEffects:
         assert r.link_utilization
         assert all(0.0 <= u <= 1.0 for u in r.link_utilization.values())
 
+    def test_trailing_send_utilization_bounded(self):
+        """A send with no matching receive leaves the network draining
+        after every process has finished; channel busy cycles accrued
+        during that drain must be normalized over the cycles actually
+        simulated, not the (shorter) execution time — the busy fraction
+        can never exceed 1.0."""
+        from repro.workloads.events import Program, SendEvent
+
+        program = Program(
+            name="trail",
+            num_processes=2,
+            events=((SendEvent(dest=1, size_bytes=512),), ()),
+        )
+        r = simulate(program, crossbar(2), _cfg())
+        assert r.delivered_packets == 1
+        # Execution ends at the sender's overhead; streaming ~129 flits
+        # takes far longer, so the old execution-cycle normalization
+        # reported utilizations well above 1.0 here.
+        assert r.execution_cycles < r.config.flits_for(512)
+        assert r.link_utilization
+        assert all(0.0 <= u <= 1.0 for u in r.link_utilization.values())
+        assert max(r.link_utilization.values()) > 0.0
+
 
 class TestTorusAdaptive:
     def test_torus_wrap_messages_deliver(self):

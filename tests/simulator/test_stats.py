@@ -84,6 +84,23 @@ class TestLatencyPercentiles:
         assert r.p50_packet_latency == 0
         assert r.p99_packet_latency == 0
 
+    def test_single_sample_at_every_boundary_rank(self):
+        r = _result(packet_latencies=(7,))
+        assert r.latency_percentile(0) == 7
+        assert r.latency_percentile(50) == 7
+        assert r.latency_percentile(100) == 7
+
+    def test_tiny_percentile_clamps_to_first_rank(self):
+        # ceil(0.1/100 * 4) = 1: must not index below the first sample.
+        r = _result(packet_latencies=(10, 20, 30, 40))
+        assert r.latency_percentile(0.1) == 10
+
+    def test_p100_hits_last_rank_exactly(self):
+        # ceil(100/100 * n) = n: must not index past the last sample.
+        for n in (1, 2, 7, 100):
+            r = _result(packet_latencies=tuple(range(1, n + 1)))
+            assert r.latency_percentile(100) == n
+
     def test_out_of_range_rejected(self):
         r = _result()
         with pytest.raises(ValueError):
