@@ -1,0 +1,122 @@
+"""Synthesis hot-path benchmark: overhauled pipeline vs the pre-PR baseline.
+
+Pins the two contractual properties of the hot-path overhaul on the
+cg-16 pattern with annealing enabled:
+
+* **bit-identity** — the transactional / memoized / preview-evaluated
+  pipeline must reproduce the pre-optimization ``PartitionResult``
+  exactly (same partition, same routes, same exact pipe widths and
+  colors, same move counts), because both arms walk the same seeded
+  decision sequence;
+* **speedup** — the overhauled pipeline must be at least 3x faster
+  than the vendored pre-PR implementation (``legacy_hotpath``).
+
+The baseline is vendored rather than knob-flipped: the
+``Partitioner(transactional=False, memoize=False)`` escape hatches keep
+the rewritten state class, whose incremental indexes speed up even the
+legacy evaluation strategy, understating the true cost of the original
+snapshot-per-candidate code.
+"""
+
+import time
+
+import pytest
+
+from legacy_hotpath import legacy_baseline
+
+from repro.model.cliques import CliqueAnalysis
+from repro.synthesis.constraints import DesignConstraints
+from repro.synthesis.partition import Partitioner
+from repro.workloads.nas import benchmark as nas_benchmark
+
+SEED = 0
+_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def cg16_analysis():
+    return CliqueAnalysis.of(nas_benchmark("cg", 16).pattern)
+
+
+def _run(analysis, *, legacy=False):
+    def once():
+        part = Partitioner(
+            analysis,
+            constraints=DesignConstraints(),
+            seed=SEED,
+            anneal=True,
+        )
+        return part.run()
+
+    if legacy:
+        with legacy_baseline():
+            return once()
+    return once()
+
+
+def _signature(result):
+    """Everything observable about a ``PartitionResult``, canonically."""
+    return {
+        "switch_procs": {
+            s: tuple(sorted(ps)) for s, ps in sorted(result.state.switch_procs.items())
+        },
+        "routes": {
+            comm: result.state.routes[comm] for comm in sorted(result.state.routes)
+        },
+        "pipe_finals": {
+            tuple(sorted(pair)): (
+                final.width,
+                tuple(sorted((c, col) for c, col in final.forward_colors.items())),
+                tuple(sorted((c, col) for c, col in final.backward_colors.items())),
+            )
+            for pair, final in sorted(result.pipe_finals.items(), key=lambda kv: sorted(kv[0]))
+        },
+        "connectivity_links": tuple(sorted(result.connectivity_links)),
+        "bisections": result.bisections,
+        "route_moves": result.route_moves,
+        "processor_moves": result.processor_moves,
+        "total_links": result.total_links(),
+    }
+
+
+def test_bit_identical_to_legacy(cg16_analysis):
+    new_sig = _signature(_run(cg16_analysis))
+    legacy_sig = _signature(_run(cg16_analysis, legacy=True))
+    assert new_sig == legacy_sig
+
+
+def test_speedup_over_legacy(cg16_analysis, show):
+    # Interleave the two arms and take each one's best-of so a
+    # transient load spike hits both rather than biasing the ratio.
+    _run(cg16_analysis)  # warm caches and imports
+    new_s = legacy_s = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        _run(cg16_analysis)
+        new_s = min(new_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _run(cg16_analysis, legacy=True)
+        legacy_s = min(legacy_s, time.perf_counter() - t0)
+    ratio = legacy_s / new_s
+    show(
+        f"cg-16 anneal: legacy {legacy_s * 1e3:.1f} ms, "
+        f"overhauled {new_s * 1e3:.1f} ms, speedup {ratio:.2f}x"
+    )
+    assert ratio >= _SPEEDUP_FLOOR, (
+        f"hot-path speedup regressed: {ratio:.2f}x < {_SPEEDUP_FLOOR}x "
+        f"(legacy {legacy_s * 1e3:.1f} ms, new {new_s * 1e3:.1f} ms)"
+    )
+
+
+def test_hotpath_wall_time(benchmark, cg16_analysis):
+    result = benchmark.pedantic(
+        lambda: _run(cg16_analysis), rounds=3, iterations=1
+    )
+    assert result.bisections > 0
+
+
+def test_legacy_wall_time(benchmark, cg16_analysis):
+    result = benchmark.pedantic(
+        lambda: _run(cg16_analysis, legacy=True), rounds=1, iterations=1
+    )
+    assert result.bisections > 0

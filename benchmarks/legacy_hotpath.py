@@ -1,0 +1,684 @@
+"""Vendored pre-optimization synthesis hot path (the PR baseline).
+
+``bench_synthesis_hotpath`` must compare the transactional / memoized /
+preview-evaluated pipeline against what the code did *before* that
+overhaul — snapshot-copy candidate evaluation over a state whose
+indexes were recomputed by scanning ``pipe_comms``.  Simply flipping
+the ``Partitioner(transactional=False, memoize=False)`` knobs is not a
+faithful baseline: the knobs keep the rewritten state class, whose
+incremental aggregates accelerate even the legacy evaluation strategy.
+So this module vendors the pre-PR implementations verbatim:
+
+* :class:`LegacySynthesisState` — deep ``snapshot()``/``restore()``,
+  frozenset-keyed estimate cache popped on invalidation, ``pipes()`` /
+  ``pipes_of()`` / ``total_links()`` scanning every pipe, O(n**2)
+  ``normalize_path``;
+* the snapshot-per-candidate move/route/reroute strategies;
+* direct (unmemoized) exact coloring at finalization.
+
+:func:`legacy_baseline` patches them into the partition pipeline so a
+``Partitioner`` run inside the context executes the original code end
+to end.  The two arms must produce bit-identical ``PartitionResult``s —
+the equivalence test in the bench enforces it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import math
+import random
+import sys
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SynthesisError
+from repro.model.cliques import CliqueAnalysis
+from repro.model.message import Communication
+from repro.synthesis.coloring import exact_coloring
+from repro.synthesis.conflict_graph import build_conflict_graph
+from repro.synthesis.constraints import DesignConstraints
+from repro.synthesis.fast_color import fast_color
+
+SwitchPath = Tuple[int, ...]
+PipeKey = Tuple[int, int]
+
+BALANCE_LIMIT = 2
+_MAX_PASSES = 50
+
+
+def legacy_normalize_path(path: Sequence[int]) -> SwitchPath:
+    """The original quadratic loop-splicing normalization."""
+    out: List[int] = []
+    for s in path:
+        if s in out:
+            del out[out.index(s) + 1 :]
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+class _LegacyColorMemo:
+    """Inert stand-in so ``Partitioner.run`` can poke the memo knobs."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.fast_hits = 0
+        self.fast_misses = 0
+        self.exact_hits = 0
+        self.exact_misses = 0
+
+
+@dataclass
+class LegacyStateSnapshot:
+    """A restorable copy of the mutable parts of the legacy state."""
+
+    switch_procs: Dict[int, Set[int]]
+    proc_switch: Dict[int, int]
+    routes: Dict[Communication, SwitchPath]
+    pipe_comms: Dict[PipeKey, Set[Communication]]
+    estimates: Dict[FrozenSet[int], int]
+    next_switch: int
+
+
+class LegacySynthesisState:
+    """The pre-overhaul ``SynthesisState``, verbatim."""
+
+    def __init__(self, analysis: CliqueAnalysis) -> None:
+        self.analysis = analysis
+        self.max_cliques = analysis.max_cliques
+        self.comms: Tuple[Communication, ...] = tuple(sorted(analysis.communications))
+        self.num_processors = analysis.pattern.num_processes
+        self.switch_procs: Dict[int, Set[int]] = {}
+        self.proc_switch: Dict[int, int] = {}
+        self.routes: Dict[Communication, SwitchPath] = {}
+        self.pipe_comms: Dict[PipeKey, Set[Communication]] = {}
+        self._estimates: Dict[FrozenSet[int], int] = {}
+        self._next_switch = 0
+        # Attributes Partitioner.run sets/reads on the modern state;
+        # inert here (the legacy arm has no transactions and no memo).
+        self.transactional = False
+        self.color_memo = _LegacyColorMemo()
+        self.txn_reverts = 0
+
+    @classmethod
+    def initial(cls, analysis: CliqueAnalysis) -> "LegacySynthesisState":
+        state = cls(analysis)
+        mega = state._new_switch()
+        for p in range(state.num_processors):
+            state.switch_procs[mega].add(p)
+            state.proc_switch[p] = mega
+        for comm in state.comms:
+            state.routes[comm] = (mega,)
+        return state
+
+    # -- switches ------------------------------------------------------
+
+    def _new_switch(self) -> int:
+        sid = self._next_switch
+        self._next_switch += 1
+        self.switch_procs[sid] = set()
+        return sid
+
+    @property
+    def switches(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.switch_procs))
+
+    def switch_of(self, processor: int) -> int:
+        return self.proc_switch[processor]
+
+    # -- routes and pipes ----------------------------------------------
+
+    def route_of(self, comm: Communication) -> SwitchPath:
+        return self.routes[comm]
+
+    def set_route(self, comm: Communication, path: Sequence[int]) -> None:
+        new_path = legacy_normalize_path(path)
+        self._check_route(comm, new_path)
+        old_path = self.routes.get(comm)
+        if old_path == new_path:
+            return
+        if old_path is not None:
+            for u, v in zip(old_path, old_path[1:]):
+                self.pipe_comms[(u, v)].discard(comm)
+                self._estimates.pop(frozenset((u, v)), None)
+        for u, v in zip(new_path, new_path[1:]):
+            self.pipe_comms.setdefault((u, v), set()).add(comm)
+            self._estimates.pop(frozenset((u, v)), None)
+        self.routes[comm] = new_path
+
+    def _check_route(self, comm: Communication, path: SwitchPath) -> None:
+        if not path:
+            raise SynthesisError(f"empty route for {comm}")
+        if path[0] != self.proc_switch[comm.source]:
+            raise SynthesisError(
+                f"route for {comm} starts at S{path[0]}, "
+                f"but its source sits on S{self.proc_switch[comm.source]}"
+            )
+        if path[-1] != self.proc_switch[comm.dest]:
+            raise SynthesisError(
+                f"route for {comm} ends at S{path[-1]}, "
+                f"but its destination sits on S{self.proc_switch[comm.dest]}"
+            )
+        for s in path:
+            if s not in self.switch_procs:
+                raise SynthesisError(f"route for {comm} visits unknown switch S{s}")
+
+    def pipe_forward(self, u: int, v: int) -> FrozenSet[Communication]:
+        return frozenset(self.pipe_comms.get((u, v), ()))
+
+    def pipes(self) -> Tuple[FrozenSet[int], ...]:
+        seen = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if comms:
+                seen.add(frozenset((u, v)))
+        return tuple(sorted(seen, key=sorted))
+
+    def pipes_of(self, switch: int) -> Tuple[int, ...]:
+        out = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if comms:
+                if u == switch:
+                    out.add(v)
+                elif v == switch:
+                    out.add(u)
+        return tuple(sorted(out))
+
+    def pipe_estimate(self, u: int, v: int) -> int:
+        key = frozenset((u, v))
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        est = fast_color(self.pipe_forward(u, v), self.pipe_forward(v, u), self.max_cliques)
+        self._estimates[key] = est
+        return est
+
+    def estimated_degree(self, switch: int) -> int:
+        return len(self.switch_procs[switch]) + sum(
+            self.pipe_estimate(switch, other) for other in self.pipes_of(switch)
+        )
+
+    def total_links(self) -> int:
+        return sum(self.pipe_estimate(*sorted(pair)) for pair in self.pipes())
+
+    def all_estimated_degrees(self) -> Dict[int, int]:
+        deg = {s: len(procs) for s, procs in self.switch_procs.items()}
+        seen = set()
+        for (u, v), comms in self.pipe_comms.items():
+            if not comms:
+                continue
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            est = self.pipe_estimate(u, v)
+            deg[u] += est
+            deg[v] += est
+        return deg
+
+    def objective(self, max_degree: int) -> Tuple[int, int]:
+        deg = self.all_estimated_degrees()
+        excess = sum(max(0, d - max_degree) for d in deg.values())
+        return (excess, self.total_links())
+
+    def local_links(self, switches: Iterable[int]) -> int:
+        pairs = set()
+        for s in switches:
+            for other in self.pipes_of(s):
+                pairs.add(frozenset((s, other)))
+        return sum(self.pipe_estimate(*sorted(pair)) for pair in pairs)
+
+    # -- partitioning moves ---------------------------------------------
+
+    def split_switch(self, si: int, rng: random.Random) -> int:
+        procs = sorted(self.switch_procs[si])
+        if len(procs) < 2:
+            raise SynthesisError(f"cannot split switch S{si} with {len(procs)} processor(s)")
+        sj = self._new_switch()
+        moved = rng.sample(procs, len(procs) // 2)
+        for p in moved:
+            self.switch_procs[si].discard(p)
+            self.switch_procs[sj].add(p)
+            self.proc_switch[p] = sj
+        for comm in self.comms:
+            path = self.routes[comm]
+            if si in path or self.proc_switch[comm.source] == sj or self.proc_switch[comm.dest] == sj:
+                self.set_route(comm, self._endpoint_adjusted(comm, path))
+        return sj
+
+    def move_processor(self, processor: int, to_switch: int) -> None:
+        frm = self.proc_switch[processor]
+        if frm == to_switch:
+            return
+        if to_switch not in self.switch_procs:
+            raise SynthesisError(f"no switch S{to_switch}")
+        self.switch_procs[frm].discard(processor)
+        self.switch_procs[to_switch].add(processor)
+        self.proc_switch[processor] = to_switch
+        for comm in self.comms:
+            if comm.source == processor or comm.dest == processor:
+                self.set_route(comm, self._endpoint_adjusted(comm, self.routes[comm]))
+
+    def _endpoint_adjusted(self, comm: Communication, path: SwitchPath) -> SwitchPath:
+        src = self.proc_switch[comm.source]
+        dst = self.proc_switch[comm.dest]
+        if src == dst:
+            return (src,)
+        return legacy_normalize_path([src, *path[1:-1], dst])
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> LegacyStateSnapshot:
+        return LegacyStateSnapshot(
+            switch_procs={s: set(ps) for s, ps in self.switch_procs.items()},
+            proc_switch=dict(self.proc_switch),
+            routes=dict(self.routes),
+            pipe_comms={k: set(v) for k, v in self.pipe_comms.items()},
+            estimates=dict(self._estimates),
+            next_switch=self._next_switch,
+        )
+
+    def restore(self, snap: LegacyStateSnapshot) -> None:
+        self.switch_procs = {s: set(ps) for s, ps in snap.switch_procs.items()}
+        self.proc_switch = dict(snap.proc_switch)
+        self.routes = dict(snap.routes)
+        self.pipe_comms = {k: set(v) for k, v in snap.pipe_comms.items()}
+        self._estimates = dict(snap.estimates)
+        self._next_switch = snap.next_switch
+
+
+# -- legacy Best_Route ---------------------------------------------------
+
+
+def legacy_best_route(state, si: int, sj: int) -> int:
+    committed = 0
+    for _ in range(_MAX_PASSES):
+        moved = _legacy_one_pass(state, si, sj) + _legacy_one_pass(state, sj, si)
+        committed += moved
+        if moved == 0:
+            break
+    return committed
+
+
+def _legacy_one_pass(state, si: int, sj: int) -> int:
+    moves = 0
+    for sk in state.pipes_of(si):
+        if sk == sj:
+            continue
+        for comm in sorted(state.pipe_forward(si, sk) | state.pipe_forward(sk, si)):
+            if _legacy_try_reroute(state, comm, _legacy_detour(state.route_of(comm), si, sj, sk)):
+                moves += 1
+        for comm in sorted(state.pipe_forward(si, sj) | state.pipe_forward(sj, si)):
+            if _legacy_try_reroute(state, comm, _legacy_undetour(state.route_of(comm), si, sj, sk)):
+                moves += 1
+    return moves
+
+
+def _legacy_detour(path: SwitchPath, si: int, sj: int, sk: int) -> SwitchPath:
+    if sj in path:
+        return path
+    out: List[int] = []
+    for idx, s in enumerate(path):
+        out.append(s)
+        if idx + 1 < len(path):
+            nxt = path[idx + 1]
+            if (s, nxt) in ((si, sk), (sk, si)):
+                out.append(sj)
+    return legacy_normalize_path(out)
+
+
+def _legacy_undetour(path: SwitchPath, si: int, sj: int, sk: int) -> SwitchPath:
+    out: List[int] = []
+    n = len(path)
+    idx = 0
+    while idx < n:
+        s = path[idx]
+        if (
+            0 < idx < n - 1
+            and s == sj
+            and (path[idx - 1], path[idx + 1]) in ((si, sk), (sk, si))
+        ):
+            idx += 1
+            continue
+        out.append(s)
+        idx += 1
+    return legacy_normalize_path(out)
+
+
+def _legacy_try_reroute(state, comm: Communication, new_path: SwitchPath) -> bool:
+    old_path = state.route_of(comm)
+    if new_path == old_path:
+        return False
+    affected = set(old_path) | set(new_path)
+    before = state.local_links(affected)
+    state.set_route(comm, new_path)
+    after = state.local_links(affected)
+    if after < before:
+        return True
+    state.set_route(comm, old_path)
+    return False
+
+
+# -- legacy processor moves ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LegacyProcessorMove:
+    processor: int
+    to_switch: int
+    predicted_links: int
+
+
+def _legacy_balanced_after(state, si: int, sj: int, proc: int, to: int) -> bool:
+    ni = len(state.switch_procs[si])
+    nj = len(state.switch_procs[sj])
+    if to == sj:
+        ni, nj = ni - 1, nj + 1
+    else:
+        ni, nj = ni + 1, nj - 1
+    if min(ni, nj) < 1:
+        return False
+    return abs(ni - nj) <= BALANCE_LIMIT
+
+
+def _legacy_score(state, si: int, sj: int) -> Tuple[int, int]:
+    links = state.local_links(_legacy_affected_switches(state, si, sj))
+    traffic = 0
+    for (u, v), comms in state.pipe_comms.items():
+        if u in (si, sj) or v in (si, sj):
+            traffic += len(comms)
+    return (links, traffic)
+
+
+def _legacy_affected_switches(state, si: int, sj: int) -> Tuple[int, ...]:
+    return tuple({si, sj, *state.pipes_of(si), *state.pipes_of(sj)})
+
+
+def legacy_best_processor_move(state, si: int, sj: int) -> Optional[_LegacyProcessorMove]:
+    current = _legacy_score(state, si, sj)
+    best: Optional[_LegacyProcessorMove] = None
+    best_score = current
+    candidates = [
+        (p, sj) for p in sorted(state.switch_procs[si])
+    ] + [
+        (p, si) for p in sorted(state.switch_procs[sj])
+    ]
+    snap = state.snapshot()
+    for proc, to in candidates:
+        if not _legacy_balanced_after(state, si, sj, proc, to):
+            continue
+        state.move_processor(proc, to)
+        predicted = _legacy_score(state, si, sj)
+        state.restore(snap)
+        if predicted < best_score:
+            best = _LegacyProcessorMove(
+                processor=proc, to_switch=to, predicted_links=predicted[0]
+            )
+            best_score = predicted
+    return best
+
+
+def legacy_annealed_moves(
+    state,
+    si: int,
+    sj: int,
+    rng: random.Random,
+    steps: int = 80,
+    initial_temperature: float = 3.0,
+    cooling: float = 0.94,
+) -> int:
+    def scalar(score: Tuple[int, int]) -> float:
+        links, traffic = score
+        return links * 1000.0 + traffic
+
+    current = scalar(_legacy_score(state, si, sj))
+    best_snapshot = state.snapshot()
+    best = current
+    accepted = 0
+    temperature = initial_temperature
+    for _ in range(steps):
+        candidates = [
+            (p, sj) for p in sorted(state.switch_procs[si])
+        ] + [
+            (p, si) for p in sorted(state.switch_procs[sj])
+        ]
+        candidates = [
+            (p, to) for p, to in candidates if _legacy_balanced_after(state, si, sj, p, to)
+        ]
+        if not candidates:
+            break
+        proc, to = rng.choice(candidates)
+        snap = state.snapshot()
+        state.move_processor(proc, to)
+        candidate = scalar(_legacy_score(state, si, sj))
+        delta = candidate - current
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current = candidate
+            accepted += 1
+            if current < best:
+                best = current
+                best_snapshot = state.snapshot()
+        else:
+            state.restore(snap)
+        temperature *= cooling
+    state.restore(best_snapshot)
+    return accepted
+
+
+# -- legacy global rerouting ----------------------------------------------
+
+
+def _legacy_objective(state, constraints: DesignConstraints) -> Tuple[int, int]:
+    return state.objective(constraints.max_degree)
+
+
+def legacy_reduce_degree_violations(
+    state,
+    constraints: DesignConstraints,
+    max_rounds: int = 30,
+) -> int:
+    moves = 0
+    for _ in range(max_rounds):
+        violators = [
+            s
+            for s in state.switches
+            if state.estimated_degree(s) > constraints.max_degree
+        ]
+        if not violators:
+            break
+        improved = False
+        for s in sorted(violators, key=state.estimated_degree, reverse=True):
+            for k in state.pipes_of(s):
+                crossing = sorted(
+                    state.pipe_forward(s, k) | state.pipe_forward(k, s)
+                )
+                for comm in crossing:
+                    if _legacy_improve_comm(state, constraints, comm, s, k):
+                        moves += 1
+                        improved = True
+            for k in state.pipes_of(s):
+                if _legacy_try_eliminate_pipe(state, constraints, s, k):
+                    moves += 1
+                    improved = True
+        if not improved:
+            break
+    return moves
+
+
+def _legacy_improve_comm(state, constraints, comm: Communication, s: int, k: int) -> bool:
+    old_path = state.route_of(comm)
+    if not _legacy_uses_hop(old_path, s, k):
+        return False
+    before = _legacy_objective(state, constraints)
+    for candidate in _legacy_candidate_paths(state, old_path, s, k):
+        state.set_route(comm, candidate)
+        if _legacy_objective(state, constraints) < before:
+            return True
+        state.set_route(comm, old_path)
+    return False
+
+
+def _legacy_try_eliminate_pipe(state, constraints, s: int, k: int) -> bool:
+    crossing = sorted(state.pipe_forward(s, k) | state.pipe_forward(k, s))
+    if not crossing:
+        return False
+    before = _legacy_objective(state, constraints)
+    snap = state.snapshot()
+    for comm in crossing:
+        path = state.route_of(comm)
+        if not _legacy_uses_hop(path, s, k):
+            continue
+        best_path = None
+        best_score = None
+        for candidate in _legacy_candidate_paths(state, path, s, k):
+            if _legacy_uses_hop(candidate, s, k):
+                continue
+            state.set_route(comm, candidate)
+            score = _legacy_objective(state, constraints)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_path = candidate
+            state.set_route(comm, path)
+        if best_path is None:
+            state.restore(snap)
+            return False
+        state.set_route(comm, best_path)
+    if _legacy_objective(state, constraints) < before:
+        return True
+    state.restore(snap)
+    return False
+
+
+def legacy_global_processor_moves(
+    state,
+    constraints: DesignConstraints,
+    max_rounds: int = 10,
+) -> int:
+    moves = 0
+    for _ in range(max_rounds):
+        violators = [
+            s
+            for s in state.switches
+            if state.estimated_degree(s) > constraints.max_degree
+        ]
+        if not violators:
+            break
+        improved = False
+        for s in violators:
+            if not state.switch_procs[s]:
+                continue
+            before = _legacy_objective(state, constraints)
+            snap = state.snapshot()
+            for proc in sorted(state.switch_procs[s]):
+                for target in state.switches:
+                    if target == s:
+                        continue
+                    state.move_processor(proc, target)
+                    if _legacy_objective(state, constraints) < before:
+                        moves += 1
+                        improved = True
+                        break
+                    state.restore(snap)
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return moves
+
+
+def _legacy_uses_hop(path: SwitchPath, s: int, k: int) -> bool:
+    return any(pair in ((s, k), (k, s)) for pair in zip(path, path[1:]))
+
+
+def _legacy_candidate_paths(state, path: SwitchPath, s: int, k: int) -> List[SwitchPath]:
+    out: List[SwitchPath] = []
+    seen = {path}
+    candidates = sorted(set(state.pipes_of(s)) | set(state.pipes_of(k)))
+    for m in candidates:
+        if m in path:
+            continue
+        detoured: List[int] = []
+        for idx, node in enumerate(path):
+            detoured.append(node)
+            if idx + 1 < len(path) and (node, path[idx + 1]) in ((s, k), (k, s)):
+                detoured.append(m)
+        candidate = legacy_normalize_path(detoured)
+        if candidate not in seen:
+            seen.add(candidate)
+            out.append(candidate)
+    for idx in range(1, len(path) - 1):
+        candidate = legacy_normalize_path(path[:idx] + path[idx + 1 :])
+        if candidate not in seen:
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+# -- legacy finalization ---------------------------------------------------
+
+
+def _legacy_finalize_pipes(state):
+    """Exact-color every pipe directly, bypassing the coloring memo."""
+    part_mod = sys.modules["repro.synthesis.partition"]
+    finals = {}
+    for pair in state.pipes():
+        u, v = sorted(pair)
+        fwd = state.pipe_forward(u, v)
+        bwd = state.pipe_forward(v, u)
+        k_f, colors_f = exact_coloring(build_conflict_graph(fwd, state.max_cliques))
+        k_b, colors_b = exact_coloring(build_conflict_graph(bwd, state.max_cliques))
+        finals[frozenset(pair)] = part_mod.PipeFinal(
+            switches=(u, v),
+            width=max(k_f, k_b),
+            forward_colors=colors_f,
+            backward_colors=colors_b,
+        )
+    return finals
+
+
+@contextlib.contextmanager
+def legacy_baseline():
+    """Run ``Partitioner`` pipelines on the vendored pre-PR hot path.
+
+    Patches every strategy entry point the partition driver dispatches
+    through — the state class, ``Best_Route``, the processor-move
+    evaluators, the global reroute passes, and pipe finalization — so
+    the algorithmic decision sequence is the original one, driven by
+    the same seeded RNG.
+    """
+    importlib.import_module("repro.synthesis.partition")
+    part_mod = sys.modules["repro.synthesis.partition"]
+    # The overhaul also caches Communication.__hash__; the legacy arm
+    # must hash tuples on every set operation like the original did.
+    # The computed value is unchanged, so set iteration order — and
+    # therefore every coloring — is identical across arms.
+    cached_hash = Communication.__hash__
+    Communication.__hash__ = _legacy_comm_hash
+    originals = {
+        "SynthesisState": part_mod.SynthesisState,
+        "best_route": part_mod.best_route,
+        "annealed_moves": part_mod.annealed_moves,
+        "best_processor_move": part_mod.best_processor_move,
+        "reduce_degree_violations": part_mod.reduce_degree_violations,
+        "global_processor_moves": part_mod.global_processor_moves,
+        "finalize_pipes": part_mod.finalize_pipes,
+    }
+    part_mod.SynthesisState = LegacySynthesisState
+    part_mod.best_route = legacy_best_route
+    part_mod.annealed_moves = legacy_annealed_moves
+    part_mod.best_processor_move = legacy_best_processor_move
+    part_mod.reduce_degree_violations = legacy_reduce_degree_violations
+    part_mod.global_processor_moves = legacy_global_processor_moves
+    part_mod.finalize_pipes = _legacy_finalize_pipes
+    try:
+        yield
+    finally:
+        Communication.__hash__ = cached_hash
+        for name, fn in originals.items():
+            setattr(part_mod, name, fn)
+
+
+def _legacy_comm_hash(self) -> int:
+    return hash((self.source, self.dest))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Gate a fresh benchmark snapshot against a committed baseline.
+
+Two kinds of check, per case of a ``BENCH_*.json`` snapshot (see
+``bench_snapshot.py``):
+
+* **deterministic fields** must match exactly — links, cycles, move
+  counts are seeded and machine-independent, so any difference means
+  the change altered behavior, not just speed;
+* **calibrated wall time** (wall seconds divided by the snapshot's own
+  pure-Python calibration loop) may not regress by more than
+  ``--max-regression`` (default 20%).  Comparing calibrated multiples
+  rather than raw seconds makes a laptop baseline meaningful on a
+  loaded CI runner.
+
+Exits nonzero on any missing case, deterministic mismatch, or
+wall-time regression.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --baseline BENCH_synthesis.json --fresh /tmp/bench/BENCH_synthesis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: snapshot {path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: snapshot {path} is not valid JSON: {exc}")
+    if data.get("schema") != 1:
+        raise SystemExit(
+            f"error: snapshot {path} has unsupported schema {data.get('schema')!r}"
+        )
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--fresh", required=True, type=Path)
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed fractional calibrated wall-time increase (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    if baseline.get("kind") != fresh.get("kind"):
+        print(
+            f"FAIL: snapshot kinds differ "
+            f"({baseline.get('kind')!r} vs {fresh.get('kind')!r})"
+        )
+        return 1
+
+    failures = 0
+    for name, base_case in sorted(baseline["cases"].items()):
+        fresh_case = fresh["cases"].get(name)
+        if fresh_case is None:
+            print(f"FAIL {name}: missing from fresh snapshot")
+            failures += 1
+            continue
+        if fresh_case["deterministic"] != base_case["deterministic"]:
+            print(
+                f"FAIL {name}: deterministic fields changed\n"
+                f"  baseline: {base_case['deterministic']}\n"
+                f"  fresh:    {fresh_case['deterministic']}"
+            )
+            failures += 1
+            continue
+        base_cal = base_case["calibrated"]
+        fresh_cal = fresh_case["calibrated"]
+        limit = base_cal * (1.0 + args.max_regression)
+        ratio = fresh_cal / base_cal if base_cal else float("inf")
+        verdict = "ok" if fresh_cal <= limit else "FAIL"
+        print(
+            f"{verdict} {name}: calibrated {fresh_cal:.2f}x vs baseline "
+            f"{base_cal:.2f}x ({ratio - 1.0:+.0%} change, "
+            f"limit {limit:.2f}x)"
+        )
+        if fresh_cal > limit:
+            failures += 1
+    for name in sorted(set(fresh["cases"]) - set(baseline["cases"])):
+        print(f"note: case {name} is new (not in baseline)")
+
+    if failures:
+        print(f"{failures} benchmark gate failure(s)")
+        return 1
+    print("benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

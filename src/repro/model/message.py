@@ -35,6 +35,12 @@ class Communication:
             raise PatternError(
                 f"communication source and destination must differ, got {self.source}"
             )
+        # Communications are hashed constantly (pipe sets, memo keys);
+        # cache the dataclass hash — same value, computed once.
+        object.__setattr__(self, "_hash", hash((self.source, self.dest)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def reversed(self) -> "Communication":

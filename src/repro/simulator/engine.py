@@ -41,6 +41,56 @@ _CREDIT = 1
 DeliveryHandler = Callable[[int, int, int, int], None]  # (src, dst, seq, cycle)
 
 
+class _SortedIdSet:
+    """A set of ids handing out a lazily cached sorted view.
+
+    The engine walks the active-router set in sorted order every cycle,
+    while membership changes far less often than cycles pass; caching
+    the sorted list and re-sorting only after a mutation replaces the
+    per-cycle ``sorted(set)`` with a list reuse."""
+
+    __slots__ = ("_members", "_ordered", "_dirty")
+
+    def __init__(self) -> None:
+        self._members: set = set()
+        self._ordered: List[int] = []
+        self._dirty = False
+
+    def add(self, member: int) -> None:
+        if member not in self._members:
+            self._members.add(member)
+            self._dirty = True
+
+    def update(self, members) -> None:
+        before = len(self._members)
+        self._members.update(members)
+        if len(self._members) != before:
+            self._dirty = True
+
+    def discard(self, member: int) -> None:
+        if member in self._members:
+            self._members.discard(member)
+            self._dirty = True
+
+    def ordered(self) -> List[int]:
+        """Members in sorted order.
+
+        The returned list is a snapshot: mutating the set marks the
+        cache dirty for the *next* call but never touches a list
+        already handed out, so callers may discard members while
+        iterating it."""
+        if self._dirty:
+            self._ordered = sorted(self._members)
+            self._dirty = False
+        return self._ordered
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._members
+
+
 class Engine:
     """The network fabric plus its event queue and progress tracking."""
 
@@ -66,7 +116,20 @@ class Engine:
 
         self._heap: List[Tuple[int, int, int, tuple]] = []
         self._heap_seq = 0
-        self._active_routers: set = set()
+        self._active_routers = _SortedIdSet()
+        # Event-driven NIC stepping: a NIC is stepped only while in the
+        # active set.  It sleeps when idle, when every queued packet
+        # injects in the future (a wake-heap entry covers the earliest),
+        # when blocked on an inject-channel credit (the credit's return
+        # reactivates it), or when its inject channel is dead (a fault
+        # transition reactivates it).
+        self._active_nics: set = set()
+        self._nic_wake: List[Tuple[int, int]] = []  # (cycle, processor)
+        self.nic_wakeups = 0
+        # packet_id -> {id(InputVC): InputVC} for every input VC whose
+        # current assignment belongs to that packet; lets _kill_packet
+        # release a victim's resources without scanning the fabric.
+        self._vc_assignments: Dict[int, Dict[int, InputVC]] = {}
         self._packets: Dict[int, Packet] = {}
         self._next_packet_id = 0
         self.flits_in_network = 0
@@ -100,9 +163,16 @@ class Engine:
             self._c_retransmissions = m.counter("sim.retransmissions")
             self._c_fault_kills = m.counter("sim.fault_kills")
             self._c_credit_stalls = m.counter("sim.credit_stalls")
+            self._c_nic_wakeups = m.counter("sim.nic_wakeups")
             self._h_latency = m.histogram("sim.packet_latency_cycles")
             self._s_flits = m.series("sim.flits_in_network")
             self._s_active_routers = m.series("sim.active_routers")
+            # Channel sampling order and metric names are fixed at
+            # construction; the per-window loop only reads them.
+            self._occ_channels: List[Tuple[ChannelId, str]] = [
+                (cid, "sim.channel_occupancy." + ":".join(str(part) for part in cid))
+                for cid in sorted(self.channels)
+            ]
 
     # -- construction ---------------------------------------------------
 
@@ -161,6 +231,7 @@ class Engine:
         self.routing.prepare(packet, self.network)
         self._packets[packet.packet_id] = packet
         self.nics[source].enqueue(packet)
+        heapq.heappush(self._nic_wake, (inject_cycle, source))
         return packet.packet_id
 
     # -- scheduling helpers ----------------------------------------------
@@ -168,6 +239,14 @@ class Engine:
     def _push(self, time: int, kind: int, payload: tuple) -> None:
         heapq.heappush(self._heap, (time, self._heap_seq, kind, payload))
         self._heap_seq += 1
+
+    def _activate_nic(self, processor: int) -> None:
+        """Move a NIC into the active set (idempotent)."""
+        if processor not in self._active_nics:
+            self._active_nics.add(processor)
+            self.nic_wakeups += 1
+            if self._obs_on:
+                self._c_nic_wakeups.inc()
 
     def next_heap_time(self) -> Optional[int]:
         return self._heap[0][0] if self._heap else None
@@ -217,6 +296,10 @@ class Engine:
                 crossed = True
         if crossed:
             self._active_routers.update(self.routers)
+            # A recovered inject channel unblocks its sleeping NIC; a
+            # failed one needs the NIC stepped once to notice and park.
+            for p in self.nics:
+                self._activate_nic(p)
 
     # -- the cycle --------------------------------------------------------
 
@@ -245,12 +328,11 @@ class Engine:
         self._s_active_routers.append(t, len(self._active_routers))
         m = self.obs.metrics
         if m.enabled:
-            for cid in sorted(self.channels):
-                occupancy = self.channels[cid].busy_vcs()
-                if occupancy or cid in self._channel_busy_cycles:
-                    name = "sim.channel_occupancy." + ":".join(
-                        str(part) for part in cid
-                    )
+            channels = self.channels
+            busy = self._channel_busy_cycles
+            for cid, name in self._occ_channels:
+                occupancy = channels[cid].busy_vcs()
+                if occupancy or cid in busy:
                     m.series(name).append(t, occupancy)
 
     def _deliver_events(self, t: int) -> bool:
@@ -267,6 +349,10 @@ class Engine:
                 src_kind, src_id = self.channels[cid].src
                 if src_kind == "router":
                     self._active_routers.add(src_id)
+                else:
+                    # An inject-channel credit: the source NIC may have
+                    # been sleeping on exactly this back-pressure.
+                    self._activate_nic(src_id)
             else:
                 cid, vc, flit = payload
                 channel = self.channels[cid]
@@ -310,9 +396,32 @@ class Engine:
         for observer in self._delivery_observers:
             observer(packet.source, packet.dest, packet.seq, t)
 
+    def _assign_vc(self, ivc: InputVC, pid: int, out_cid: ChannelId, out_vc: int) -> None:
+        """Record an input VC's output assignment, keeping the
+        packet-indexed registry in step."""
+        old = ivc.assignment
+        if old is not None:
+            entries = self._vc_assignments.get(old[0])
+            if entries is not None:
+                entries.pop(id(ivc), None)
+                if not entries:
+                    del self._vc_assignments[old[0]]
+        ivc.assignment = (pid, out_cid, out_vc)
+        self._vc_assignments.setdefault(pid, {})[id(ivc)] = ivc
+
+    def _clear_assignment(self, ivc: InputVC) -> None:
+        assignment = ivc.assignment
+        if assignment is not None:
+            entries = self._vc_assignments.get(assignment[0])
+            if entries is not None:
+                entries.pop(id(ivc), None)
+                if not entries:
+                    del self._vc_assignments[assignment[0]]
+        ivc.assignment = None
+
     def _step_routers(self, t: int) -> bool:
         moved = False
-        for sid in sorted(self._active_routers):
+        for sid in self._active_routers.ordered():
             router = self.routers[sid]
             active = router.active_vcs()
             if not active:
@@ -350,7 +459,7 @@ class Engine:
                     out_vc = out_channel.free_vc()
                     if out_vc is not None:
                         out_channel.owner[out_vc] = front.packet.packet_id
-                        ivc.assignment = (front.packet.packet_id, out_cid, out_vc)
+                        self._assign_vc(ivc, front.packet.packet_id, out_cid, out_vc)
                         break
             # Phase 2: switch allocation, one flit per output channel.
             requests: Dict[ChannelId, List[int]] = {}
@@ -385,19 +494,37 @@ class Engine:
                     self._c_flit_hops.inc()
                 moved = True
                 if flit.is_tail:
-                    ivc.assignment = None
+                    self._clear_assignment(ivc)
                     out_channel.owner[out_vc] = None
             if not router.active_vcs():
                 self._active_routers.discard(sid)
         return moved
 
     def _step_nics(self, t: int) -> bool:
+        """Step every *active* NIC (event-driven injection).
+
+        A NIC that cannot possibly make progress is parked out of the
+        active set with a wake condition armed — the wake heap for
+        future inject times, the inject channel's credit return for
+        back-pressure, a fault transition for a dead channel, an
+        enqueue for an empty queue — so idle-heavy traces stop paying a
+        full NIC sweep per cycle.  Decisions and ``moved`` are
+        byte-identical to the always-sweep implementation: a parked NIC
+        is exactly one that would have done nothing."""
+        wake = self._nic_wake
+        while wake and wake[0][0] <= t:
+            self._activate_nic(heapq.heappop(wake)[1])
+        if not self._active_nics:
+            return False
         moved = False
-        for p in sorted(self.nics):
+        for p in sorted(self._active_nics):
             nic = self.nics[p]
             channel = self.channels[nic.inject_channel]
             if self._dead(nic.inject_channel, t):
-                continue  # injection blocked while the channel is down
+                # Injection blocked while the channel is down; every
+                # fault transition reactivates all NICs.
+                self._active_nics.discard(p)
+                continue
             if nic.streaming is None and nic.queue:
                 eligible = [pkt for pkt in nic.queue if pkt.inject_cycle <= t]
                 if eligible:
@@ -407,6 +534,13 @@ class Engine:
                         channel.owner[vc] = pkt.packet_id
                         nic.streaming = (pkt, vc)
                         nic.dequeue(pkt)
+                else:
+                    # Every queued packet injects in the future: sleep
+                    # until the earliest (the queue is non-empty and
+                    # all inject times exceed t, so one exists).
+                    heapq.heappush(wake, (nic.next_inject_after(t), p))
+                    self._active_nics.discard(p)
+                    continue
             if nic.streaming is not None:
                 pkt, vc = nic.streaming
                 if channel.credits[vc] > 0:
@@ -425,8 +559,20 @@ class Engine:
                         nic.streaming = None
                         channel.owner[vc] = None
                 elif self._obs_on:
-                    # Streaming NIC blocked on the inject channel credit.
+                    # Streaming NIC blocked on the inject channel
+                    # credit.  With observability on the NIC stays
+                    # awake so the per-cycle stall accounting matches
+                    # the always-sweep engine exactly.
                     self._c_credit_stalls.inc()
+                else:
+                    # Parked until the credit comes back (its delivery
+                    # reactivates this NIC).
+                    self._active_nics.discard(p)
+            elif not nic.queue:
+                # Fully idle; submit()/retransmit enqueues reactivate.
+                self._active_nics.discard(p)
+            # else: an eligible packet exists but no inject VC is free
+            # (transiently possible only around kills); retry next cycle.
         return moved
 
     # -- regressive recovery ---------------------------------------------
@@ -481,19 +627,24 @@ class Engine:
         """Mark a packet killed and release every resource it holds; its
         flits in buffers/in flight drop via the killed flag."""
         victim.killed = True
-        for router in self.routers.values():
-            for cid, vcs in router.inputs.items():
-                for vc, ivc in enumerate(vcs):
-                    if ivc.assignment is not None and ivc.assignment[0] == victim.packet_id:
-                        _, out_cid, out_vc = ivc.assignment
-                        self.channels[out_cid].owner[out_vc] = None
-                        ivc.assignment = None
+        # The assignment registry maps the victim straight to the input
+        # VCs it holds — no fabric-wide scan.
+        for ivc in self._vc_assignments.pop(victim.packet_id, {}).values():
+            assignment = ivc.assignment
+            if assignment is None or assignment[0] != victim.packet_id:
+                continue  # defensive; the registry is kept exact
+            _, out_cid, out_vc = assignment
+            self.channels[out_cid].owner[out_vc] = None
+            ivc.assignment = None
         nic = self.nics[victim.source]
         held_vc = nic.abort_stream(victim.packet_id)
         if held_vc is not None:
             self.channels[nic.inject_channel].owner[held_vc] = None
-        # Wake every router so killed flits drain promptly.
+        # Wake every router so killed flits drain promptly, and the
+        # source NIC: aborting the stream may unblock a queued packet
+        # before the retransmission's backoff expires.
         self._active_routers.update(self.routers)
+        self._activate_nic(victim.source)
 
     def _retransmit(self, victim: Packet, t: int) -> None:
         """Re-inject a killed packet from its source after the backoff.
@@ -516,6 +667,7 @@ class Engine:
         self.routing.prepare(replacement, self.network)
         self._packets[replacement.packet_id] = replacement
         self.nics[victim.source].enqueue(replacement)
+        heapq.heappush(self._nic_wake, (replacement.inject_cycle, victim.source))
         self.retransmissions += 1
         if self._obs_on:
             self._c_retransmissions.inc()

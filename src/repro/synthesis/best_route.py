@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.model.message import Communication
-from repro.synthesis.state import SynthesisState, normalize_path
+from repro.synthesis.state import SynthesisState
 
 # Safety valve: each commit strictly decreases the integer total link
 # estimate, so termination is guaranteed; the cap only guards against
@@ -59,7 +59,10 @@ def _one_pass(state: SynthesisState, si: int, sj: int) -> int:
 
 
 def _detour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ...]:
-    """Insert ``sj`` into a direct ``si-sk`` hop (either direction)."""
+    """Insert ``sj`` into a direct ``si-sk`` hop (either direction).
+
+    Routes are simple paths and ``sj`` is not on this one, so the
+    insertion yields a simple path — no re-normalization needed."""
     if sj in path:
         return path
     out: List[int] = []
@@ -69,7 +72,7 @@ def _detour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ...]
             nxt = path[idx + 1]
             if (s, nxt) in ((si, sk), (sk, si)):
                 out.append(sj)
-    return normalize_path(out)
+    return tuple(out)
 
 
 def _undetour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ...]:
@@ -88,7 +91,7 @@ def _undetour(path: Tuple[int, ...], si: int, sj: int, sk: int) -> Tuple[int, ..
             continue
         out.append(s)
         idx += 1
-    return normalize_path(out)
+    return tuple(out)
 
 
 def _try_reroute(state: SynthesisState, comm: Communication, new_path: Tuple[int, ...]) -> bool:
@@ -98,9 +101,9 @@ def _try_reroute(state: SynthesisState, comm: Communication, new_path: Tuple[int
         return False
     affected = set(old_path) | set(new_path)
     before = state.local_links(affected)
-    state.set_route(comm, new_path)
-    after = state.local_links(affected)
+    changed = state.preview_route_change(comm, new_path)
+    after = state.preview_local_links(changed, affected)
     if after < before:
+        state.set_route(comm, new_path)
         return True
-    state.set_route(comm, old_path)
     return False

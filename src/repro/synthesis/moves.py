@@ -7,6 +7,15 @@ each other (the paper's balance rule).  Candidate moves are evaluated
 with direct-path route re-anchoring (exactly what
 :meth:`SynthesisState.move_processor` does) and scored by the total
 estimate of the pipes incident to the pair.
+
+Candidates are evaluated by :meth:`SynthesisState.preview_move_score`
+— the objective of the hypothetical move computed from the incremental
+indexes and the coloring memo without mutating the state — so a
+rejected candidate costs no apply/rollback churn at all (the original
+implementation paid an O(|state|) snapshot copy per candidate).
+Accepted moves mutate inside :meth:`SynthesisState.transaction` scopes
+with savepoint rewind.  Decisions, scores, and RNG draws are
+byte-identical to the snapshot-based implementation.
 """
 
 from __future__ import annotations
@@ -51,14 +60,13 @@ def _score(state: SynthesisState, si: int, sj: int) -> Tuple[int, int]:
     the number of communications crossing those pipes: moves that
     internalize communications without changing the link estimate are
     still worth taking, because they shrink the conflict graphs of
-    later bisections.
+    later bisections.  Both terms read incrementally maintained indexes
+    (estimates dirty-tracked per pipe, traffic from the incidence
+    counts), so a score after a candidate move only pays for the pipes
+    that move actually touched.
     """
     links = state.local_links(_affected_switches(state, si, sj))
-    traffic = 0
-    for (u, v), comms in state.pipe_comms.items():
-        if u in (si, sj) or v in (si, sj):
-            traffic += len(comms)
-    return (links, traffic)
+    return (links, state.pair_traffic(si, sj))
 
 
 def best_processor_move(
@@ -80,13 +88,10 @@ def best_processor_move(
     ] + [
         (p, si) for p in sorted(state.switch_procs[sj])
     ]
-    snap = state.snapshot()
     for proc, to in candidates:
         if not _balanced_after(state, si, sj, proc, to):
             continue
-        state.move_processor(proc, to)
-        predicted = _score(state, si, sj)
-        state.restore(snap)
+        predicted = state.preview_move_score(proc, to, si, sj)
         if predicted < best_score:
             best = ProcessorMove(
                 processor=proc, to_switch=to, predicted_links=predicted[0]
@@ -117,6 +122,12 @@ def annealed_moves(
     and accepts worsening ones with Boltzmann probability, restoring
     the best state visited — occasionally escaping plateaus the greedy
     walk cannot.  Returns the number of accepted moves.
+
+    The walk runs inside one outer transaction: proposals are scored by
+    preview (no mutation), only accepted moves are applied, the best
+    state visited is a savepoint into the shared undo log, and the
+    final rewind replays inverse operations instead of copying the
+    state.
     """
 
     def scalar(score: Tuple[int, int]) -> float:
@@ -124,34 +135,41 @@ def annealed_moves(
         return links * 1000.0 + traffic
 
     current = scalar(_score(state, si, sj))
-    best_snapshot = state.snapshot()
     best = current
     accepted = 0
     temperature = initial_temperature
-    for _ in range(steps):
-        candidates = [
-            (p, sj) for p in sorted(state.switch_procs[si])
-        ] + [
-            (p, si) for p in sorted(state.switch_procs[sj])
-        ]
-        candidates = [
-            (p, to) for p, to in candidates if _balanced_after(state, si, sj, p, to)
-        ]
-        if not candidates:
-            break
-        proc, to = rng.choice(candidates)
-        snap = state.snapshot()
-        state.move_processor(proc, to)
-        candidate = scalar(_score(state, si, sj))
-        delta = candidate - current
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
-            current = candidate
-            accepted += 1
-            if current < best:
-                best = current
-                best_snapshot = state.snapshot()
-        else:
-            state.restore(snap)
-        temperature *= cooling
-    state.restore(best_snapshot)
+    with state.transaction() as walk:
+        best_mark = walk.savepoint()
+        # The candidate list is a pure function of the pair's current
+        # membership, so it only needs rebuilding after an accepted
+        # move — rejected proposals leave the state untouched.
+        candidates = None
+        for _ in range(steps):
+            if candidates is None:
+                candidates = [
+                    (p, sj) for p in sorted(state.switch_procs[si])
+                ] + [
+                    (p, si) for p in sorted(state.switch_procs[sj])
+                ]
+                candidates = [
+                    (p, to)
+                    for p, to in candidates
+                    if _balanced_after(state, si, sj, p, to)
+                ]
+            if not candidates:
+                break
+            proc, to = rng.choice(candidates)
+            candidate = scalar(state.preview_move_score(proc, to, si, sj))
+            delta = candidate - current
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                state.move_processor(proc, to)
+                current = candidate
+                accepted += 1
+                candidates = None
+                if current < best:
+                    best = current
+                    best_mark = walk.savepoint()
+            temperature *= cooling
+        walk.rollback_to(best_mark)
+        walk.commit()
     return accepted

@@ -20,8 +20,6 @@ from repro.model.cliques import CliqueAnalysis
 from repro.model.message import Communication
 from repro.obs import DISABLED, Observability
 from repro.synthesis.best_route import best_route
-from repro.synthesis.coloring import exact_coloring
-from repro.synthesis.conflict_graph import build_conflict_graph
 from repro.synthesis.constraints import DesignConstraints
 from repro.synthesis.moves import annealed_moves, best_processor_move
 from repro.synthesis.reroute import global_processor_moves, reduce_degree_violations
@@ -90,14 +88,19 @@ class PartitionResult:
 
 
 def finalize_pipes(state: SynthesisState) -> Dict[FrozenSet[int], PipeFinal]:
-    """Exact-color every pipe's two conflict graphs (Appendix step 3)."""
+    """Exact-color every pipe's two conflict graphs (Appendix step 3).
+
+    Colorings come from the state's content-keyed memo: re-partitioning
+    rounds (and the two directions of symmetric pipes) hit the cache
+    instead of re-running branch and bound.
+    """
     finals: Dict[FrozenSet[int], PipeFinal] = {}
     for pair in state.pipes():
         u, v = sorted(pair)
         fwd = state.pipe_forward(u, v)
         bwd = state.pipe_forward(v, u)
-        k_f, colors_f = exact_coloring(build_conflict_graph(fwd, state.max_cliques))
-        k_b, colors_b = exact_coloring(build_conflict_graph(bwd, state.max_cliques))
+        k_f, colors_f = state.color_memo.exact(fwd)
+        k_b, colors_b = state.color_memo.exact(bwd)
         finals[frozenset(pair)] = PipeFinal(
             switches=(u, v),
             width=max(k_f, k_b),
@@ -120,6 +123,8 @@ class Partitioner:
         moves: bool = True,
         anneal: bool = False,
         obs: Optional[Observability] = None,
+        transactional: bool = True,
+        memoize: bool = True,
     ) -> None:
         self.analysis = analysis
         self.constraints = constraints or DesignConstraints()
@@ -127,6 +132,13 @@ class Partitioner:
         self.reroute = reroute
         self.moves = moves
         self.anneal = anneal
+        # A/B knobs for the hot-path machinery: ``transactional=False``
+        # evaluates moves on deep snapshot copies and ``memoize=False``
+        # recomputes every coloring — the pre-optimization behavior,
+        # kept so benchmarks and equivalence tests can pin the speedup
+        # and the byte-identity of results.
+        self.transactional = transactional
+        self.memoize = memoize
         self.obs = obs if obs is not None else DISABLED
         self.rng = random.Random(seed)
         # Each bisection adds a switch; N-1 splits reach one processor
@@ -138,6 +150,8 @@ class Partitioner:
         """Execute the algorithm until constraints hold or splitting is
         exhausted; raises :class:`SynthesisError` when infeasible."""
         state = SynthesisState.initial(self.analysis)
+        state.transactional = self.transactional
+        state.color_memo.enabled = self.memoize
         result = PartitionResult(state=state, pipe_finals={})
         metrics = self.obs.metrics
         tracer = self.obs.tracer
@@ -165,6 +179,7 @@ class Partitioner:
                 self._record_estimate_gaps(state, result)
                 exact_violators = self._exact_violators(state, result)
                 if not exact_violators:
+                    self._record_hotpath_counters(state)
                     return result
                 violators = exact_violators
             splittable = [s for s in violators if len(state.switch_procs[s]) >= 2]
@@ -224,6 +239,21 @@ class Partitioner:
                     moved = best_route(state, si, sj)
                     result.route_moves += moved
                     c_route_moves.inc(moved)
+
+    def _record_hotpath_counters(self, state: SynthesisState) -> None:
+        """Report the hot-path machinery's work through the registry:
+        transaction reverts from move evaluation and the coloring memo's
+        hit/miss split.  Counts are pure functions of the seeded run, so
+        they are deterministic and safe in canonical metric output."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter("synthesis.txn_reverts").inc(state.txn_reverts)
+        memo = state.color_memo
+        metrics.counter("synthesis.color.fast_hits").inc(memo.fast_hits)
+        metrics.counter("synthesis.color.fast_misses").inc(memo.fast_misses)
+        metrics.counter("synthesis.color.exact_hits").inc(memo.exact_hits)
+        metrics.counter("synthesis.color.exact_misses").inc(memo.exact_misses)
 
     def _estimate_violators(self, state: SynthesisState) -> Tuple[int, ...]:
         return self.constraints.violators(state)

@@ -17,7 +17,7 @@ from typing import List, Tuple
 
 from repro.model.message import Communication
 from repro.synthesis.constraints import DesignConstraints
-from repro.synthesis.state import SynthesisState, normalize_path
+from repro.synthesis.state import SynthesisState
 
 
 def degree_excess(state: SynthesisState, constraints: DesignConstraints) -> int:
@@ -89,29 +89,27 @@ def _try_eliminate_pipe(
     if not crossing:
         return False
     before = _objective(state, constraints)
-    snap = state.snapshot()
-    for comm in crossing:
-        path = state.route_of(comm)
-        if not _uses_hop(path, s, k):
-            continue
-        best_path = None
-        best_score = None
-        for candidate in _candidate_paths(state, path, s, k):
-            if _uses_hop(candidate, s, k):
+    with state.transaction() as txn:
+        for comm in crossing:
+            path = state.route_of(comm)
+            if not _uses_hop(path, s, k):
                 continue
-            state.set_route(comm, candidate)
-            score = _objective(state, constraints)
-            if best_score is None or score < best_score:
-                best_score = score
-                best_path = candidate
-            state.set_route(comm, path)
-        if best_path is None:
-            state.restore(snap)
-            return False
-        state.set_route(comm, best_path)
-    if _objective(state, constraints) < before:
-        return True
-    state.restore(snap)
+            best_path = None
+            best_score = None
+            for candidate in _candidate_paths(state, path, s, k):
+                if _uses_hop(candidate, s, k):
+                    continue
+                changed = state.preview_route_change(comm, candidate)
+                score = state.preview_objective(changed, constraints.max_degree)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_path = candidate
+            if best_path is None:
+                return False
+            state.set_route(comm, best_path)
+        if _objective(state, constraints) < before:
+            txn.commit()
+            return True
     return False
 
 
@@ -144,17 +142,18 @@ def global_processor_moves(
             if not state.switch_procs[s]:
                 continue
             before = _objective(state, constraints)
-            snap = state.snapshot()
             for proc in sorted(state.switch_procs[s]):
                 for target in state.switches:
                     if target == s:
                         continue
-                    state.move_processor(proc, target)
-                    if _objective(state, constraints) < before:
-                        moves += 1
-                        improved = True
+                    with state.transaction() as txn:
+                        state.move_processor(proc, target)
+                        if _objective(state, constraints) < before:
+                            txn.commit()
+                            moves += 1
+                            improved = True
+                    if improved:
                         break
-                    state.restore(snap)
                 if improved:
                     break
             if improved:
@@ -177,15 +176,20 @@ def _improve_comm(
         return False
     before = _objective(state, constraints)
     for candidate in _candidate_paths(state, old_path, s, k):
-        state.set_route(comm, candidate)
-        if _objective(state, constraints) < before:
+        changed = state.preview_route_change(comm, candidate)
+        if state.preview_objective(changed, constraints.max_degree) < before:
+            state.set_route(comm, candidate)
             return True
-        state.set_route(comm, old_path)
     return False
 
 
 def _uses_hop(path: Tuple[int, ...], s: int, k: int) -> bool:
-    return any(pair in ((s, k), (k, s)) for pair in zip(path, path[1:]))
+    prev = path[0]
+    for node in path[1:]:
+        if (prev == s and node == k) or (prev == k and node == s):
+            return True
+        prev = node
+    return False
 
 
 def _candidate_paths(
@@ -195,6 +199,9 @@ def _candidate_paths(
     interior switch), all normalized and deduplicated."""
     out: List[Tuple[int, ...]] = []
     seen = {path}
+    # Routes are simple paths, so inserting a switch not already on the
+    # path (detour) or dropping an interior one (shortcut) yields a
+    # simple path again — no re-normalization needed.
     # Detours through switches already piped to either endpoint: a
     # disconnected intermediate would add two fresh pipes without
     # relieving the endpoints, so it can never lower the objective.
@@ -207,13 +214,13 @@ def _candidate_paths(
             detoured.append(node)
             if idx + 1 < len(path) and (node, path[idx + 1]) in ((s, k), (k, s)):
                 detoured.append(m)
-        candidate = normalize_path(detoured)
+        candidate = tuple(detoured)
         if candidate not in seen:
             seen.add(candidate)
             out.append(candidate)
     # Shortcuts: drop one interior switch.
     for idx in range(1, len(path) - 1):
-        candidate = normalize_path(path[:idx] + path[idx + 1 :])
+        candidate = path[:idx] + path[idx + 1 :]
         if candidate not in seen:
             seen.add(candidate)
             out.append(candidate)
