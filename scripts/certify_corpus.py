@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Certify the benchmark x topology corpus; the CI gate for repro.verify.
+
+Runs the static verifier over every NAS benchmark at both paper scales
+(8/9 and 16 processors) on the synthesized network and the mesh and
+torus baselines, writes each :class:`~repro.verify.NetworkCertificate`
+as canonical JSON to ``--out-dir``, and enforces the paper's safety
+story as a gate:
+
+* **generated** networks must certify contention-free (Theorem 1) and
+  deadlock-free, with valid routes, full connectivity, and the
+  synthesis degree bound;
+* **mesh/torus** baselines must certify deadlock-free (dimension-order
+  routing with dateline VC classes on the torus); contention is
+  reported but expected, so it does not gate.
+
+With ``--dynamic`` each certificate is additionally cross-validated
+against the flit-level engine (zero contention stalls when certified
+contention-free, zero deadlock recoveries when certified
+deadlock-free).  Exits nonzero on any gate failure or dynamic mismatch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/certify_corpus.py --out-dir /tmp/certificates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.runner import prepare
+from repro.synthesis import DesignConstraints
+from repro.verify import certify, cross_validate
+from repro.workloads.nas import BENCHMARK_NAMES, PAPER_LARGE_SIZE, PAPER_SMALL_SIZES
+
+GATED_KINDS = ("generated", "mesh", "torus")
+
+
+def corpus_entries(benchmarks, sizes):
+    for name in benchmarks:
+        for label in sizes:
+            n = PAPER_SMALL_SIZES[name] if label == "small" else PAPER_LARGE_SIZE
+            for kind in GATED_KINDS:
+                yield name, n, kind
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir", type=Path, default=None,
+        help="directory for the JSON certificates (created if missing)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=list(BENCHMARK_NAMES),
+        choices=BENCHMARK_NAMES, metavar="BENCH",
+    )
+    parser.add_argument(
+        "--sizes", nargs="+", default=["small", "large"],
+        choices=("small", "large"),
+    )
+    parser.add_argument(
+        "--dynamic", action="store_true",
+        help="also cross-validate each certificate against the engine",
+    )
+    args = parser.parse_args()
+
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    started = time.perf_counter()
+    for name, n, kind in corpus_entries(args.benchmarks, args.sizes):
+        setup = prepare(name, n, seed=args.seed)
+        topology = setup.topology(kind)
+        max_degree = (
+            DesignConstraints().max_degree if kind == "generated" else None
+        )
+        cert = certify(topology, setup.benchmark.pattern, max_degree=max_degree)
+        require_cf = kind == "generated"
+        ok = cert.ok(require_contention_free=require_cf)
+        problems = [
+            f.name for f in cert.findings
+            if not f.passed and (f.name != "contention" or require_cf)
+        ]
+
+        if args.out_dir is not None:
+            path = args.out_dir / f"{name}-{n}-{kind}.cert.json"
+            path.write_text(cert.to_json())
+
+        line = (
+            f"{name}-{n:>2} {kind:<9} "
+            f"contention={'pass' if cert.contention_free else 'FAIL'} "
+            f"deadlock={cert.deadlock_method if cert.deadlock_free else 'FAIL'}"
+        )
+        if args.dynamic:
+            report, mismatches = cross_validate(
+                cert, topology, setup.benchmark.pattern,
+                link_delays=setup.link_delays(kind),
+            )
+            line += (
+                f" replay[{report.delivered_packets}/{report.messages} "
+                f"stalls={report.contention_stalls} "
+                f"deadlocks={report.deadlocks_detected}]"
+            )
+            if mismatches:
+                problems.extend(f"dynamic:{m}" for m in mismatches)
+        if problems:
+            failures.append((f"{name}-{n}-{kind}", problems))
+            line += "  <-- GATE FAILURE: " + "; ".join(problems)
+        print(line, flush=True)
+        if problems:
+            print(cert.render(), flush=True)
+
+    elapsed = time.perf_counter() - started
+    total = sum(1 for _ in corpus_entries(args.benchmarks, args.sizes))
+    print(
+        f"\ncertified {total - len(failures)}/{total} corpus entries "
+        f"in {elapsed:.1f}s",
+        flush=True,
+    )
+    if failures:
+        for entry, problems in failures:
+            print(f"FAILED {entry}: {', '.join(problems)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

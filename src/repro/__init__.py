@@ -11,7 +11,9 @@ The package is organized around the paper's pipeline:
 * :mod:`repro.workloads` — NAS-like benchmark program generators,
 * :mod:`repro.floorplan` — tile floorplanning and the area model,
 * :mod:`repro.eval` — the paper's experiments (Figures 7 and 8),
-* :mod:`repro.faults` — fault injection, route repair, resilience.
+* :mod:`repro.faults` — fault injection, route repair, resilience,
+* :mod:`repro.verify` — static network certificates (deadlock freedom,
+  Theorem 1) with engine cross-validation.
 """
 
 from repro.faults import (
@@ -48,6 +50,7 @@ from repro.topology import (
     torus,
     torus_for,
 )
+from repro.verify import NetworkCertificate, certify, cross_validate
 from repro.workloads import PhaseProgramBuilder, benchmark, extract_pattern
 
 __version__ = "1.0.0"
@@ -63,13 +66,16 @@ __all__ = [
     "LinkFault",
     "Message",
     "Network",
+    "NetworkCertificate",
     "PhaseProgramBuilder",
     "SimConfig",
     "SwitchFault",
     "Topology",
     "benchmark",
     "build_campaign",
+    "certify",
     "check_contention_free",
+    "cross_validate",
     "crossbar",
     "extract_pattern",
     "fat_tree",

@@ -9,6 +9,11 @@ Commands:
 * ``cross-workload`` — the Section 4.2 robustness study.
 * ``resilience`` — fault-injection campaign: degradation of generated
   networks vs baselines under link/switch failures.
+* ``verify`` — static safety certification of one network under one
+  benchmark's pattern: deadlock freedom (channel-dependency-graph
+  acyclicity with cycle witnesses), Theorem 1, degree, connectivity and
+  route validity, emitted as a canonical JSON certificate (see
+  ``docs/VERIFICATION.md``).
 * ``profile`` — run one benchmark fully observed and print a
   phase/time/counter breakdown (see ``docs/OBSERVABILITY.md``).
 * ``cache`` — inspect or clear the on-disk evaluation result cache.
@@ -210,6 +215,47 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--seed", type=int, default=0)
     _add_runner_options(res)
 
+    ver = sub.add_parser(
+        "verify",
+        help="statically certify a routed network (deadlock freedom, "
+        "Theorem 1, degree, connectivity, route validity)",
+    )
+    ver.add_argument(
+        "--benchmark", required=True, choices=("bt", "cg", "fft", "mg", "sp")
+    )
+    ver.add_argument("--nodes", type=int, default=16)
+    ver.add_argument(
+        "--topology",
+        default="generated",
+        choices=("generated", "mesh", "torus", "crossbar"),
+    )
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument(
+        "--max-degree", type=int, default=None, metavar="D",
+        help="degree bound to certify against (defaults to the synthesis "
+        "constraint for generated networks, unbounded otherwise)",
+    )
+    ver.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the canonical certificate JSON to PATH",
+    )
+    ver.add_argument(
+        "--dynamic", action="store_true",
+        help="cross-validate the certificate against a flit-level replay "
+        "of the pattern (zero contention stalls / zero deadlock recoveries)",
+    )
+    require = ver.add_mutually_exclusive_group()
+    require.add_argument(
+        "--require-contention-free", dest="require_cf",
+        action="store_true", default=None,
+        help="fail unless Theorem 1 holds (default for generated networks)",
+    )
+    require.add_argument(
+        "--no-require-contention-free", dest="require_cf", action="store_false",
+        help="report contention findings without failing on them "
+        "(default for baselines)",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
     cache.add_argument(
@@ -384,6 +430,41 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.eval import prepare
+    from repro.synthesis import DesignConstraints
+    from repro.verify import certify, cross_validate
+
+    setup = prepare(args.benchmark, args.nodes, seed=args.seed)
+    topology = setup.topology(args.topology)
+    pattern = setup.benchmark.pattern
+    max_degree = args.max_degree
+    if max_degree is None and args.topology == "generated":
+        max_degree = DesignConstraints().max_degree
+    certificate = certify(topology, pattern, max_degree=max_degree)
+    print(certificate.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(certificate.to_json())
+        print(f"certificate written to {args.json_out}", file=sys.stderr)
+    require_cf = args.require_cf
+    if require_cf is None:
+        require_cf = args.topology == "generated"
+    status = 0 if certificate.ok(require_contention_free=require_cf) else 1
+    if args.dynamic:
+        report, mismatches = cross_validate(
+            certificate,
+            topology,
+            pattern,
+            link_delays=setup.link_delays(args.topology),
+        )
+        print(report.summary())
+        for mismatch in mismatches:
+            print(f"cross-validation mismatch: {mismatch}", file=sys.stderr)
+            status = 1
+    return status
+
+
 def _cmd_cache(args) -> int:
     from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache
 
@@ -427,6 +508,7 @@ _COMMANDS = {
     "figure8": _cmd_figure8,
     "cross-workload": _cmd_cross_workload,
     "resilience": _cmd_resilience,
+    "verify": _cmd_verify,
     "cache": _cmd_cache,
     "inspect": _cmd_inspect,
 }

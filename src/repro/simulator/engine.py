@@ -135,6 +135,14 @@ class Engine:
         self.flits_in_network = 0
         self.last_progress = 0
         self.deadlocks_detected = 0
+        # Cycles lost to *inter-packet* contention: a head flit finding
+        # every VC of its candidate channels held by other packets, or
+        # an allocated flit losing switch arbitration to another packet.
+        # Self-induced credit stalls (a lone packet throttled by its own
+        # credit round-trip on a long link) are deliberately excluded —
+        # the static contention certificate promises the absence of
+        # inter-packet interference, not of flow-control latency.
+        self.contention_stalls = 0
         self.retransmissions = 0
         self.fault_packet_kills = 0
         self.delivered_packets = 0
@@ -160,6 +168,7 @@ class Engine:
             self._c_flit_hops = m.counter("sim.flit_hops")
             self._c_delivered = m.counter("sim.packets_delivered")
             self._c_deadlocks = m.counter("sim.deadlocks")
+            self._c_contention_stalls = m.counter("sim.contention_stalls")
             self._c_retransmissions = m.counter("sim.retransmissions")
             self._c_fault_kills = m.counter("sim.fault_kills")
             self._c_credit_stalls = m.counter("sim.credit_stalls")
@@ -461,6 +470,13 @@ class Engine:
                         out_channel.owner[out_vc] = front.packet.packet_id
                         self._assign_vc(ivc, front.packet.packet_id, out_cid, out_vc)
                         break
+                else:
+                    if candidates:
+                        # Live candidates exist but every VC is held by
+                        # another packet: inter-packet contention.
+                        self.contention_stalls += 1
+                        if self._obs_on:
+                            self._c_contention_stalls.inc()
             # Phase 2: switch allocation, one flit per output channel.
             requests: Dict[ChannelId, List[int]] = {}
             for idx, (cid, vc, ivc) in enumerate(active):
@@ -478,6 +494,13 @@ class Engine:
                     # Allocated VC but no credit: back-pressure stall.
                     self._c_credit_stalls.inc()
             for out_cid in sorted(requests):
+                losers = len(requests[out_cid]) - 1
+                if losers:
+                    # Distinct packets competing for one physical
+                    # channel this cycle; all but the winner stall.
+                    self.contention_stalls += losers
+                    if self._obs_on:
+                        self._c_contention_stalls.inc(losers)
                 winner_idx = router.arbitrate(out_cid, requests[out_cid])
                 cid, vc, ivc = active[winner_idx]
                 flit = ivc.buffer.popleft()

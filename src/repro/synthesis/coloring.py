@@ -12,6 +12,7 @@ treat them as undirected and expect symmetric adjacency.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 Node = Hashable
@@ -83,9 +84,14 @@ def dsatur_coloring(adj: Adjacency) -> Coloring:
     return coloring
 
 
-def _rank(node: Node) -> float:
-    """Stable tie-break rank for heterogeneous node types."""
-    return hash(repr(node)) % (2**31)
+def _rank(node: Node) -> int:
+    """Stable tie-break rank for heterogeneous node types.
+
+    Must be identical across processes: ``hash()`` on strings is
+    randomized per interpreter (PYTHONHASHSEED), which made colorings —
+    and therefore synthesized routings — differ from run to run.
+    """
+    return zlib.crc32(repr(node).encode("utf-8"))
 
 
 def num_colors(coloring: Mapping[Node, int]) -> int:

@@ -56,8 +56,24 @@ def check_routes_valid(
         if len(route.hops) != len(path) - 1:
             raise RoutingError(f"route for {comm} has mismatched hop count")
         for (u, v), hop in zip(zip(path, path[1:]), route.hops):
+            if len(hop) != 3 or hop[0] != "link":
+                raise RoutingError(
+                    f"route for {comm} has a malformed hop {hop!r} "
+                    "(expected ('link', link_id, direction))"
+                )
             _, link_id, direction = hop
-            link = network.link(link_id)
+            try:
+                link = network.link(link_id)
+            except TopologyError:
+                raise RoutingError(
+                    f"route for {comm} uses link {link_id} which does not "
+                    "exist in the network"
+                ) from None
+            if direction not in (0, 1):
+                raise RoutingError(
+                    f"route for {comm} uses link {link_id} with invalid "
+                    f"direction {direction!r}"
+                )
             expected = (link.u, link.v) if direction == 0 else (link.v, link.u)
             if expected != (u, v):
                 raise RoutingError(

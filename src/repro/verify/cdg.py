@@ -1,0 +1,211 @@
+"""Channel-dependency graphs and Dally–Seitz acyclicity checking.
+
+A wormhole network is deadlock-free when the dependency graph over its
+channel resources is acyclic (Dally & Seitz): a packet holding channel
+``a`` while requesting channel ``b`` contributes the edge ``a -> b``,
+and a cyclic wait requires a cycle of such edges.
+
+Nodes here are ``(channel resource, vc class)`` pairs — the resource
+tuples of :mod:`repro.topology.network` (``("link", id, dir)``,
+``("inj", p)``, ``("ej", p)``) refined by a virtual-channel class from
+:mod:`repro.verify.vcmap`, so disciplines like dateline VCs on a torus
+are expressible.  Every edge remembers one contributing route fragment
+(which communication, at which hop), so a detected cycle is a concrete,
+printable witness rather than a bare "cyclic" verdict.
+
+The graph container and cycle search are deliberately generic (any
+hashable, orderable-by-key nodes), which lets property tests drive them
+with synthetic graphs independent of networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.model.message import Communication
+from repro.topology.network import ejection_resource, injection_resource
+from repro.topology.routing import Route, RoutingBase
+
+# A CDG node: (directed channel resource, virtual-channel class).
+CdgNode = Tuple[Tuple, int]
+
+
+def cdg_node_key(node: CdgNode) -> Tuple:
+    """Deterministic sort key for channel/class nodes.
+
+    Resources compare by kind first ("ej" < "inj" < "link"), then by
+    their integer fields, then by class — stable across runs and
+    processes, which keeps certificates byte-identical.
+    """
+    resource, vc_class = node
+    return (resource[0], tuple(resource[1:]), vc_class)
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """One dependency ``src -> dst`` with a sample contributor.
+
+    ``comm``/``hop_index`` identify one route fragment inducing the
+    edge: while ``comm``'s packet holds ``src`` (its ``hop_index``-th
+    resource, injection included), its next flit requests ``dst``.
+    """
+
+    src: CdgNode
+    dst: CdgNode
+    comm: Optional[Communication] = None
+    hop_index: int = 0
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """A concrete cycle: a closed node walk plus the edges realizing it.
+
+    ``nodes`` is the closed walk (first node repeated last); ``edges``
+    has one entry per step, each carrying the route fragment that
+    induces the dependency.
+    """
+
+    nodes: Tuple[CdgNode, ...]
+    edges: Tuple[DependencyEdge, ...]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def communications(self) -> Tuple[Communication, ...]:
+        """Distinct communications contributing edges, sorted."""
+        return tuple(sorted({e.comm for e in self.edges if e.comm is not None}))
+
+    def render(self) -> str:
+        """Multi-line human-readable form of the cycle."""
+        lines = [f"channel-dependency cycle of length {len(self.edges)}:"]
+        for edge in self.edges:
+            via = f" via {edge.comm} hop {edge.hop_index}" if edge.comm else ""
+            lines.append(f"  {_node_str(edge.src)} -> {_node_str(edge.dst)}{via}")
+        return "\n".join(lines)
+
+
+def _node_str(node: CdgNode) -> str:
+    resource, vc_class = node
+    body = ":".join(str(part) for part in resource)
+    return f"{body}@vc{vc_class}"
+
+
+class DependencyGraph:
+    """A directed graph over hashable nodes with labelled edges.
+
+    Iteration order is fixed by ``key`` (defaults to ``repr``), so
+    :meth:`find_cycle` returns the same witness for the same graph on
+    every run.
+    """
+
+    def __init__(self, key: Callable = repr) -> None:
+        self._key = key
+        self._succ: Dict[object, Dict[object, DependencyEdge]] = {}
+
+    def add_node(self, node) -> None:
+        self._succ.setdefault(node, {})
+
+    def add_edge(
+        self,
+        src,
+        dst,
+        comm: Optional[Communication] = None,
+        hop_index: int = 0,
+    ) -> None:
+        """Add ``src -> dst``; the first contributor of an edge wins."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succ[src]:
+            self._succ[src][dst] = DependencyEdge(
+                src=src, dst=dst, comm=comm, hop_index=hop_index
+            )
+
+    @property
+    def nodes(self) -> List:
+        return sorted(self._succ, key=self._key)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(out) for out in self._succ.values())
+
+    def successors(self, node) -> List:
+        return sorted(self._succ.get(node, ()), key=self._key)
+
+    def has_edge(self, src, dst) -> bool:
+        return dst in self._succ.get(src, {})
+
+    def find_cycle(self) -> Optional[CycleWitness]:
+        """The first cycle in deterministic DFS order, or ``None``.
+
+        Iterative colour-marking DFS (white/grey/black): a grey node
+        reached again closes a cycle, and the grey path from its first
+        visit back to it is the witness.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[object, int] = {}
+        for start in self.nodes:
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            colour[start] = GREY
+            path: List[object] = [start]
+            stack = [iter(self.successors(start))]
+            while stack:
+                advanced = False
+                for nxt in stack[-1]:
+                    state = colour.get(nxt, WHITE)
+                    if state == GREY:
+                        cycle_nodes = path[path.index(nxt):] + [nxt]
+                        edges = tuple(
+                            self._succ[a][b]
+                            for a, b in zip(cycle_nodes, cycle_nodes[1:])
+                        )
+                        return CycleWitness(nodes=tuple(cycle_nodes), edges=edges)
+                    if state == WHITE:
+                        colour[nxt] = GREY
+                        path.append(nxt)
+                        stack.append(iter(self.successors(nxt)))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[path.pop()] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+
+def route_nodes(route: Route, classes: Tuple[int, ...]) -> List[CdgNode]:
+    """The ordered resource/class nodes a route's packet acquires.
+
+    Injection and ejection channels bracket the inter-switch hops; they
+    carry class 0 (a NIC is an infinite sink, so ejection channels can
+    never close a cycle, but including them makes witnesses complete
+    end-to-end fragments).
+    """
+    nodes: List[CdgNode] = [(injection_resource(route.comm.source), 0)]
+    nodes.extend((hop, cls) for hop, cls in zip(route.hops, classes))
+    nodes.append((ejection_resource(route.comm.dest), 0))
+    return nodes
+
+
+def build_cdg(
+    routing: RoutingBase,
+    communications: Iterable[Communication],
+    classifier,
+) -> DependencyGraph:
+    """The channel-dependency graph of a routing function.
+
+    One edge per consecutive resource pair of every communication's
+    route, with hop classes assigned by ``classifier`` (see
+    :mod:`repro.verify.vcmap`).
+    """
+    graph = DependencyGraph(key=cdg_node_key)
+    for comm in sorted(communications):
+        route = routing.route(comm)
+        nodes = route_nodes(route, classifier.classes(route))
+        for i, (src, dst) in enumerate(zip(nodes, nodes[1:])):
+            graph.add_edge(src, dst, comm=comm, hop_index=i)
+    return graph

@@ -113,3 +113,50 @@ class TestResilienceCommand:
         assert args.nodes == 8
         assert args.faults == "link"
         assert args.transient is None
+
+
+class TestVerifyCommand:
+    def test_generated_certificate_passes(self, capsys):
+        rc = main(["verify", "--benchmark", "cg", "--nodes", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[PASS] contention" in out
+        assert "[PASS] deadlock" in out
+
+    def test_mesh_contention_reported_but_not_gating(self, capsys):
+        rc = main(["verify", "--benchmark", "cg", "--nodes", "8",
+                   "--topology", "mesh"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[FAIL] contention" in out
+        assert "[PASS] deadlock" in out
+
+    def test_mesh_fails_when_contention_required(self, capsys):
+        rc = main(["verify", "--benchmark", "cg", "--nodes", "8",
+                   "--topology", "mesh", "--require-contention-free"])
+        assert rc == 1
+
+    def test_json_certificate_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "cert.json"
+        rc = main(["verify", "--benchmark", "cg", "--nodes", "8",
+                   "--json", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["pattern_name"] == "cg-8"
+        assert str(path) in capsys.readouterr().err
+
+    def test_dynamic_cross_validation(self, capsys):
+        rc = main(["verify", "--benchmark", "cg", "--nodes", "8", "--dynamic"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replayed" in out
+        assert "0 contention stalls" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify", "--benchmark", "cg"])
+        assert args.nodes == 16
+        assert args.topology == "generated"
+        assert args.require_cf is None
+        assert not args.dynamic

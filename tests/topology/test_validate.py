@@ -99,3 +99,38 @@ class TestCheckRoutesValid:
         )
         with pytest.raises(RoutingError):
             check_routes_valid(net, TableRouting([bad]), [Communication(0, 2)])
+
+    def _corrupted(self, hops):
+        net, sw = _line()
+        good = make_route(net, Communication(0, 2), sw)
+        bad = Route(
+            comm=good.comm,
+            switch_path=good.switch_path,
+            hops=hops(good.hops),
+            resources=good.resources,
+        )
+        return net, TableRouting([bad])
+
+    def test_nonexistent_link_rejected(self):
+        # Regression: a route claiming a link id the network never
+        # allocated used to pass validation (the walk-consistency check
+        # crashed only later, inside the simulator).
+        net, table = self._corrupted(
+            lambda hops: (("link", 999, 0),) + hops[1:]
+        )
+        with pytest.raises(RoutingError, match="link 999 which does not exist"):
+            check_routes_valid(net, table, [Communication(0, 2)])
+
+    def test_malformed_hop_rejected(self):
+        net, table = self._corrupted(
+            lambda hops: (("inj", 0),) + hops[1:]
+        )
+        with pytest.raises(RoutingError, match="malformed hop"):
+            check_routes_valid(net, table, [Communication(0, 2)])
+
+    def test_invalid_direction_rejected(self):
+        net, table = self._corrupted(
+            lambda hops: ((hops[0][0], hops[0][1], 7),) + hops[1:]
+        )
+        with pytest.raises(RoutingError, match="invalid direction"):
+            check_routes_valid(net, table, [Communication(0, 2)])
