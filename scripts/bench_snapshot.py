@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Write schema-versioned benchmark snapshots (``BENCH_*.json``).
 
-Measures the two hot paths the repo pins — synthesis (cg-16 annealed
-partitioning) and the flit-level simulator (trace replay plus the
-idle-heavy NIC-wake workload) — and writes ``BENCH_synthesis.json``
-and ``BENCH_simulator.json``.
+Measures the hot paths the repo pins — synthesis (cg-16 annealed
+partitioning), the flit-level simulator (trace replay plus the
+idle-heavy NIC-wake workload), and the saturation-sweep driver
+(tornado + uniform knee searches on the 4x4 mesh) — and writes
+``BENCH_synthesis.json``, ``BENCH_simulator.json`` and
+``BENCH_sweep.json``.
 
 Each snapshot carries:
 
@@ -128,6 +130,39 @@ def _simulator_cases(repeats: int):
     return cases
 
 
+def _sweep_cases(repeats: int):
+    from repro.sweeps import SweepConfig, run_sweep
+    from repro.topology import mesh
+
+    topology = mesh(4, 4)
+    sweep = SweepConfig(
+        initial_points=4,
+        refine_iters=3,
+        warmup_cycles=200,
+        measure_cycles=800,
+        drain_cycles=800,
+    )
+
+    cases = {}
+    for pattern in ("tornado", "uniform"):
+        def run(pattern=pattern):
+            return run_sweep(topology, pattern, sweep=sweep)
+
+        run()
+        wall, curve = _best_of(run, repeats)
+        cases[f"mesh4x4-{pattern}"] = {
+            "wall_s": round(wall, 6),
+            "deterministic": {
+                "points": len(curve.points),
+                "saturated": curve.saturated,
+                "saturation_rate": curve.saturation_rate,
+                "saturation_throughput": curve.saturation_throughput,
+                "delivered_total": sum(p.delivered for p in curve.points),
+            },
+        }
+    return cases
+
+
 def _snapshot(kind: str, cases: dict, calibration_s: float) -> dict:
     for case in cases.values():
         case["calibrated"] = round(case["wall_s"] / calibration_s, 4)
@@ -149,7 +184,7 @@ def main() -> int:
         help="best-of repeats per timed case (default 3)",
     )
     parser.add_argument(
-        "--only", choices=("synthesis", "simulator"),
+        "--only", choices=("synthesis", "simulator", "sweep"),
         help="write just one snapshot",
     )
     args = parser.parse_args()
@@ -166,6 +201,7 @@ def main() -> int:
     targets = {
         "synthesis": _synthesis_cases,
         "simulator": _simulator_cases,
+        "sweep": _sweep_cases,
     }
     built = {}
     for kind, build in targets.items():

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Off-design robustness study: saturation sweeps across topologies.
+
+The paper's generated networks are synthesized for one benchmark's
+communication pattern.  This study asks how they hold up when the
+traffic is *not* the one they were designed for: every topology
+(generated, generated+one-spare-link-per-switch, mesh, torus) is swept
+to saturation on the canonical synthetic suite (uniform, tornado,
+transpose, bit permutations, hotspot, the routing-aware adversarial
+permutation), and the resulting saturation throughputs are printed as
+a degradation table relative to the mesh baseline.
+
+Full mode covers every NAS benchmark at both paper scales (small
+sizes per benchmark, large = 16 nodes); ``--smoke`` runs one benchmark
+at its small size with shortened sweep windows — the CI nightly gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/robustness_study.py --smoke --jobs 0
+    PYTHONPATH=src python scripts/robustness_study.py --benchmarks cg,mg \
+        --sizes small --json study.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Sweep suite of the study — every non-parameterized family plus one
+#: representative hotspot (node 0 drawing 60% of the traffic).
+STUDY_PATTERNS = (
+    "uniform",
+    "neighbor",
+    "tornado",
+    "transpose",
+    "bit_complement",
+    "bit_reverse",
+    "shuffle",
+    "hotspot:0:0.6",
+    "adversarial",
+)
+
+STUDY_TOPOLOGIES = ("generated", "generated-spare", "mesh", "torus")
+
+
+def _sweep_config(smoke: bool, seed: int):
+    from repro.sweeps import SweepConfig
+
+    if smoke:
+        return SweepConfig(
+            initial_points=4,
+            refine_iters=2,
+            warmup_cycles=200,
+            measure_cycles=600,
+            drain_cycles=800,
+            seed=seed,
+        )
+    return SweepConfig(seed=seed)
+
+
+def run_study(
+    benchmark: str,
+    nodes: int,
+    patterns=STUDY_PATTERNS,
+    topologies=STUDY_TOPOLOGIES,
+    smoke: bool = False,
+    seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
+):
+    """One benchmark/scale cell of the study, as a ``SweepResult``."""
+    from repro.sweeps import run_sweep_suite, study_topology
+
+    rows = [
+        study_topology(kind, nodes, benchmark=benchmark, seed=seed)
+        for kind in topologies
+    ]
+    return run_sweep_suite(
+        rows,
+        patterns,
+        sweep=_sweep_config(smoke, seed),
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        label=f"robustness-{benchmark}-{nodes}",
+    )
+
+
+def main() -> int:
+    from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache, print_progress
+    from repro.sweeps import degradation_table
+    from repro.workloads import BENCHMARK_NAMES, PAPER_LARGE_SIZE, PAPER_SMALL_SIZES
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one benchmark at small scale with short sweep windows",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="LIST",
+        help="comma-separated NAS benchmarks (default: all; smoke: cg)",
+    )
+    parser.add_argument(
+        "--sizes", default=None, choices=("small", "large", "both"),
+        help="paper scales to cover (default both; smoke: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per sweep (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--progress", action="store_true")
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write every SweepResult as one canonical-JSON artifact",
+    )
+    args = parser.parse_args()
+
+    benchmarks = tuple(
+        b.strip() for b in args.benchmarks.split(",") if b.strip()
+    ) if args.benchmarks else (("cg",) if args.smoke else BENCHMARK_NAMES)
+    unknown = [b for b in benchmarks if b not in BENCHMARK_NAMES]
+    if unknown:
+        parser.error(f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}")
+    sizes = args.sizes or ("small" if args.smoke else "both")
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    progress = print_progress if args.progress else None
+
+    artifacts = []
+    first = True
+    for bench in benchmarks:
+        scales = []
+        if sizes in ("small", "both"):
+            scales.append(PAPER_SMALL_SIZES[bench])
+        if sizes in ("large", "both"):
+            scales.append(PAPER_LARGE_SIZE)
+        for nodes in scales:
+            result = run_study(
+                bench,
+                nodes,
+                smoke=args.smoke,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache=cache,
+                progress=progress,
+            )
+            artifacts.append(result)
+            if not first:
+                print()
+            first = False
+            print(
+                degradation_table(
+                    result,
+                    baseline="mesh",
+                    title=(
+                        f"{bench}-{nodes}: saturation throughput "
+                        f"(flits/node/cycle), ratio vs mesh"
+                    ),
+                )
+            )
+
+    if args.json_out:
+        payload = {
+            "kind": "robustness-study",
+            "schema": 1,
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "results": [r.to_dict() for r in artifacts],
+        }
+        with open(args.json_out, "w") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        print(f"study written to {args.json_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ The package is organized around the paper's pipeline:
 * :mod:`repro.workloads` — NAS-like benchmark program generators,
 * :mod:`repro.floorplan` — tile floorplanning and the area model,
 * :mod:`repro.eval` — the paper's experiments (Figures 7 and 8),
+* :mod:`repro.sweeps` — synthetic traffic suite and automated
+  saturation sweeps (the off-design robustness study),
 * :mod:`repro.faults` — fault injection, route repair, resilience,
 * :mod:`repro.verify` — static network certificates (deadlock freedom,
   Theorem 1) with engine cross-validation.

@@ -16,6 +16,9 @@ Commands:
   ``docs/VERIFICATION.md``).
 * ``profile`` — run one benchmark fully observed and print a
   phase/time/counter breakdown (see ``docs/OBSERVABILITY.md``).
+* ``sweep`` — automated saturation sweep of one synthetic traffic
+  pattern on one topology: adaptive knee bisection, schema-versioned
+  canonical-JSON curve artifact (see ``docs/SWEEPS.md``).
 * ``cache`` — inspect or clear the on-disk evaluation result cache.
 
 ``synthesize``, ``simulate`` and ``profile`` accept ``--trace``
@@ -256,6 +259,65 @@ def build_parser() -> argparse.ArgumentParser:
         "(default for baselines)",
     )
 
+    swp = sub.add_parser(
+        "sweep",
+        help="saturation sweep of a synthetic pattern on one topology",
+    )
+    swp.add_argument(
+        "--pattern", default="uniform", metavar="SPEC",
+        help="synthetic pattern spec: a registered name (run with "
+        "--list-patterns to see them) or a parameterized form like "
+        "hotspot:3:0.8 (default uniform)",
+    )
+    swp.add_argument(
+        "--list-patterns", action="store_true",
+        help="print the registered pattern catalog and exit",
+    )
+    swp.add_argument(
+        "--topology",
+        default="mesh",
+        choices=("mesh", "torus", "crossbar", "generated", "generated-spare"),
+        help="network under test (generated* synthesize for --benchmark)",
+    )
+    swp.add_argument("--nodes", type=int, default=16)
+    swp.add_argument(
+        "--benchmark", default="cg", choices=("bt", "cg", "fft", "mg", "sp"),
+        help="benchmark the generated topologies are synthesized for",
+    )
+    swp.add_argument("--seed", type=int, default=0)
+    swp.add_argument("--restarts", type=int, default=8)
+    swp.add_argument(
+        "--min-rate", type=float, default=0.05, metavar="R",
+        help="lowest offered rate in flits/node/cycle (default 0.05)",
+    )
+    swp.add_argument(
+        "--max-rate", type=float, default=1.0, metavar="R",
+        help="highest offered rate in flits/node/cycle (default 1.0)",
+    )
+    swp.add_argument(
+        "--points", type=int, default=6, metavar="N",
+        help="initial evenly spaced rates before refinement (default 6)",
+    )
+    swp.add_argument(
+        "--refine", type=int, default=4, metavar="N",
+        help="bisection steps around the knee (default 4)",
+    )
+    swp.add_argument(
+        "--strict-patterns", action="store_true",
+        help="fail when the pattern's size requirement does not hold "
+        "instead of falling back to uniform traffic",
+    )
+    swp.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the canonical SaturationCurve JSON to PATH",
+    )
+    swp.add_argument(
+        "--csv", dest="csv_out", default=None, metavar="PATH",
+        help="write the measured points as CSV to PATH",
+    )
+    _add_runner_options(swp)
+    _add_obs_options(swp)
+
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
     cache.add_argument(
@@ -465,6 +527,62 @@ def _cmd_verify(args) -> int:
     return status
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweeps import (
+        SweepConfig,
+        curve_csv,
+        pattern_entries,
+        run_sweep,
+        study_topology,
+    )
+
+    if args.list_patterns:
+        for entry in pattern_entries():
+            marks = []
+            if entry.requires:
+                marks.append(f"requires {entry.requires}")
+            if entry.needs_topology:
+                marks.append("routing-aware")
+            suffix = f" [{', '.join(marks)}]" if marks else ""
+            print(f"{entry.name:<16} {entry.description}{suffix}")
+        return 0
+    obs = _obs_from(args)
+    top_label, topology, link_delays = study_topology(
+        args.topology,
+        args.nodes,
+        benchmark=args.benchmark,
+        seed=args.seed,
+        restarts=args.restarts,
+    )
+    curve = run_sweep(
+        topology,
+        args.pattern,
+        sweep=SweepConfig(
+            min_rate=args.min_rate,
+            max_rate=args.max_rate,
+            initial_points=args.points,
+            refine_iters=args.refine,
+            seed=args.seed,
+        ),
+        link_delays=link_delays,
+        obs=obs,
+        label=top_label,
+        strict_patterns=args.strict_patterns,
+        **_runner_kwargs(args),
+    )
+    print(curve.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(curve.to_json())
+        print(f"curve written to {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        with open(args.csv_out, "w") as fh:
+            fh.write(curve_csv(curve))
+        print(f"points written to {args.csv_out}", file=sys.stderr)
+    _write_obs(args, obs)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache
 
@@ -509,6 +627,7 @@ _COMMANDS = {
     "cross-workload": _cmd_cross_workload,
     "resilience": _cmd_resilience,
     "verify": _cmd_verify,
+    "sweep": _cmd_sweep,
     "cache": _cmd_cache,
     "inspect": _cmd_inspect,
 }

@@ -248,6 +248,41 @@ def _topology_fingerprint(
     }
 
 
+def _openloop_topology_fingerprint(
+    topology: Topology, link_delays: Optional[Dict[int, int]]
+) -> dict:
+    """Program-independent topology fingerprint for open-loop cells.
+
+    Open-loop traffic draws destinations over *all* node pairs, so the
+    routing fingerprint covers the full pair matrix for deterministic
+    (source-routed) policies; the torus stays a policy name exactly as
+    in :func:`_routing_fingerprint`.
+    """
+    if topology.kind == "torus":
+        routing: dict = {"policy": "adaptive-minimal"}
+    else:
+        from repro.model.message import Communication
+
+        n = topology.network.num_processors
+        routes = {}
+        for src in range(n):
+            for dest in range(n):
+                if src == dest:
+                    continue
+                r = topology.routing.route(Communication(src, dest))
+                routes[f"{src}->{dest}"] = [list(r.switch_path), list(r.link_ids)]
+        routing = {"policy": "source", "routes": routes}
+    return {
+        "name": topology.name,
+        "kind": topology.kind,
+        "graph": topology.network.describe(),
+        "routing": routing,
+        "link_delays": (
+            sorted(link_delays.items()) if link_delays is not None else None
+        ),
+    }
+
+
 def _scenario_fingerprint(scenario: FaultScenario) -> dict:
     faults = []
     for f in scenario.faults:
@@ -383,7 +418,72 @@ class ResilienceCell:
         }
 
 
-Cell = Union[PerformanceCell, ResilienceCell]
+@dataclass(frozen=True)
+class OpenLoopCell:
+    """One open-loop measurement: a (topology, pattern, rate) point.
+
+    The pattern rides as its canonical registry *spec string* (e.g.
+    ``"tornado"``, ``"hotspot:3:0.8"``) rather than a callable, so the
+    cell pickles across the process pool and the cache key is stable;
+    workers resolve it through :func:`repro.sweeps.patterns.resolve_pattern`
+    against the cell's own topology (which also covers the
+    routing-aware ``adversarial`` pattern — the permutation is a
+    deterministic function of the fingerprinted topology).
+    """
+
+    label: str
+    topology: Topology
+    pattern: str
+    injection_rate: float
+    config: SimConfig
+    packet_bytes: int = 32
+    warmup_cycles: int = 500
+    measure_cycles: int = 2000
+    drain_cycles: int = 2000
+    link_delays: Optional[Dict[int, int]] = None
+    seed: int = 0
+
+    def key(self) -> str:
+        return cell_key(
+            {
+                "version": code_version_tag(),
+                "kind": "openloop",
+                "topology": _openloop_topology_fingerprint(
+                    self.topology, self.link_delays
+                ),
+                "pattern": self.pattern,
+                "injection_rate": self.injection_rate,
+                "packet_bytes": self.packet_bytes,
+                "warmup_cycles": self.warmup_cycles,
+                "measure_cycles": self.measure_cycles,
+                "drain_cycles": self.drain_cycles,
+                "seed": self.seed,
+                "config": config_to_dict(self.config),
+            }
+        )
+
+    def compute(self, obs: Optional[Observability] = None) -> dict:
+        from repro.eval.serialize import loadpoint_to_dict
+        from repro.simulator.openloop import run_open_loop
+        from repro.sweeps.patterns import resolve_pattern
+
+        point = run_open_loop(
+            self.topology,
+            self.injection_rate,
+            pattern=resolve_pattern(self.pattern, topology=self.topology),
+            packet_bytes=self.packet_bytes,
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            drain_cycles=self.drain_cycles,
+            config=self.config,
+            link_delays=self.link_delays,
+            seed=self.seed,
+            obs=obs,
+        )
+        return loadpoint_to_dict(point)
+
+
+Cell = Union[PerformanceCell, ResilienceCell, OpenLoopCell]
 
 
 # ---------------------------------------------------------------------------

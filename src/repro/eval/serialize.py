@@ -21,6 +21,7 @@ from typing import Dict, Tuple
 
 from repro.errors import ReproError
 from repro.simulator.config import SimConfig
+from repro.simulator.openloop import LoadPoint
 from repro.simulator.stats import SimulationResult
 
 _RESOURCE_KINDS = ("link", "inj", "ej")
@@ -119,6 +120,28 @@ def result_from_dict(raw: dict) -> SimulationResult:
         link_utilization=decode_link_utilization(raw["link_utilization"]),
         config=config_from_dict(raw["config"]),
         packet_latencies=tuple(raw["packet_latencies"]),
+    )
+
+
+def loadpoint_to_dict(point: LoadPoint) -> dict:
+    """JSON-safe dictionary form of one open-loop measurement."""
+    return {
+        "offered_flits_per_node_cycle": point.offered_flits_per_node_cycle,
+        "accepted_flits_per_node_cycle": point.accepted_flits_per_node_cycle,
+        "avg_latency": point.avg_latency,
+        "delivered": point.delivered,
+        "saturated": point.saturated,
+    }
+
+
+def loadpoint_from_dict(raw: dict) -> LoadPoint:
+    """Invert :func:`loadpoint_to_dict`."""
+    return LoadPoint(
+        offered_flits_per_node_cycle=raw["offered_flits_per_node_cycle"],
+        accepted_flits_per_node_cycle=raw["accepted_flits_per_node_cycle"],
+        avg_latency=raw["avg_latency"],
+        delivered=raw["delivered"],
+        saturated=raw["saturated"],
     )
 
 

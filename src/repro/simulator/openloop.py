@@ -22,59 +22,35 @@ from repro.simulator.config import SimConfig
 from repro.simulator.engine import Engine
 from repro.simulator.routing import SimRouting
 from repro.simulator.simulation import routing_policy_for
+
+# The synthetic pattern suite lives in repro.sweeps.patterns (one
+# extensible registry shared with the sweep driver); re-exported here
+# for backward compatibility.  ``PATTERNS`` now covers the full
+# canonical suite — including the factory-registered hotspot — and
+# ``resolve_pattern`` parses parameterized specs like "hotspot:3:0.8".
+from repro.sweeps.patterns import (  # noqa: F401 - re-exports
+    PATTERNS,
+    DestinationPattern,
+    bit_complement_pattern,
+    bit_reverse_pattern,
+    bit_rotation_pattern,
+    hotspot_pattern,
+    neighbor_pattern,
+    resolve_pattern,
+    shuffle_pattern,
+    tornado_pattern,
+    transpose_pattern,
+    uniform_random,
+)
 from repro.topology.builders import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.state import FaultState
 
-# dest = pattern(source, num_nodes, rng); returning the source resamples.
-DestinationPattern = Callable[[int, int, random.Random], int]
-
 # Bounded retries when a pattern returns the source: enough that any
 # pattern with a non-vanishing chance of another node virtually always
 # resolves, small enough that a degenerate all-self pattern stays cheap.
 _RESAMPLE_BOUND = 16
-
-
-def uniform_random(src: int, n: int, rng: random.Random) -> int:
-    """Every other node equally likely."""
-    dest = rng.randrange(n - 1)
-    return dest if dest < src else dest + 1
-
-
-def transpose_pattern(src: int, n: int, rng: random.Random) -> int:
-    """Bit-transpose destination on a square grid (self maps resample
-    to uniform)."""
-    side = int(n ** 0.5)
-    if side * side != n:
-        return uniform_random(src, n, rng)
-    dest = (src % side) * side + src // side
-    if dest == src:
-        return uniform_random(src, n, rng)
-    return dest
-
-
-def neighbor_pattern(src: int, n: int, rng: random.Random) -> int:
-    """Ring neighbour (+1)."""
-    return (src + 1) % n
-
-
-def hotspot_pattern(hotspot: int = 0, bias: float = 0.5) -> DestinationPattern:
-    """A fraction ``bias`` of traffic targets one node, rest uniform."""
-
-    def pattern(src: int, n: int, rng: random.Random) -> int:
-        if src != hotspot and rng.random() < bias:
-            return hotspot
-        return uniform_random(src, n, rng)
-
-    return pattern
-
-
-PATTERNS: Dict[str, DestinationPattern] = {
-    "uniform": uniform_random,
-    "transpose": transpose_pattern,
-    "neighbor": neighbor_pattern,
-}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,258 @@
+"""Schema-versioned sweep artifacts and their renderings.
+
+A :class:`SaturationCurve` is the canonical result of one automated
+sweep: the measured latency/throughput points (sorted by offered
+load), the detected saturation point, and every parameter that shaped
+the sweep.  A :class:`SweepResult` bundles the curves of a multi-cell
+study (e.g. the robustness study's topology x pattern grid).
+
+Both serialize to *canonical JSON* (sorted keys, no whitespace — the
+same byte-stability contract as the result cache and the verification
+certificates), so serial, parallel, and cache-hit sweeps produce
+byte-identical artifacts, and CI can diff them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.eval.serialize import (
+    canonical_json,
+    loadpoint_from_dict,
+    loadpoint_to_dict,
+)
+from repro.simulator.openloop import LoadPoint
+
+#: Bump when the artifact layout changes incompatibly.
+SWEEP_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SaturationCurve:
+    """One automated saturation sweep over a (topology, pattern) pair.
+
+    Attributes:
+        topology_name: report label of the swept network.
+        pattern: canonical pattern spec (``"tornado"``, ``"hotspot:3:0.8"``).
+        num_nodes: node count of the network.
+        seed: base seed of every measurement cell.
+        points: measured load points, sorted by offered rate (the
+            initial grid plus the bisection refinements).
+        saturation_rate: estimated offered rate at the knee — the
+            midpoint of the final bisection bracket — or ``None`` when
+            the network never saturated below the sweep's maximum rate.
+        saturation_throughput: highest accepted rate over points below
+            saturation (all points, when saturation was never reached).
+        saturated: whether any measured point met a saturation
+            criterion (see :func:`repro.sweeps.driver.detect_saturation`).
+        params: the sweep parameters (rate bounds, grid size,
+            refinement depth, cycle windows, detection thresholds).
+    """
+
+    topology_name: str
+    pattern: str
+    num_nodes: int
+    seed: int
+    points: Tuple[LoadPoint, ...]
+    saturation_rate: Optional[float]
+    saturation_throughput: float
+    saturated: bool
+    params: Dict[str, object]
+    schema: int = SWEEP_SCHEMA
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "kind": "saturation-curve",
+            "topology_name": self.topology_name,
+            "pattern": self.pattern,
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "points": [loadpoint_to_dict(p) for p in self.points],
+            "saturation_rate": self.saturation_rate,
+            "saturation_throughput": self.saturation_throughput,
+            "saturated": self.saturated,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SaturationCurve":
+        schema = raw.get("schema")
+        if schema != SWEEP_SCHEMA:
+            raise SimulationError(
+                f"unsupported sweep artifact schema {schema!r} "
+                f"(this build reads schema {SWEEP_SCHEMA})"
+            )
+        return cls(
+            topology_name=raw["topology_name"],
+            pattern=raw["pattern"],
+            num_nodes=raw["num_nodes"],
+            seed=raw["seed"],
+            points=tuple(loadpoint_from_dict(p) for p in raw["points"]),
+            saturation_rate=raw["saturation_rate"],
+            saturation_throughput=raw["saturation_throughput"],
+            saturated=raw["saturated"],
+            params=dict(raw["params"]),
+            schema=schema,
+        )
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON text of this curve."""
+        return canonical_json(self.to_dict())
+
+    def render(self) -> str:
+        return curve_table(self)
+
+
+def curve_table(curve: SaturationCurve) -> str:
+    """Human-readable table of one saturation curve."""
+    lines = [
+        f"saturation sweep: {curve.pattern} on {curve.topology_name} "
+        f"({curve.num_nodes} nodes, seed {curve.seed})",
+        f"{'offered':>9} {'accepted':>9} {'latency':>9} "
+        f"{'delivered':>9} {'saturated':>9}",
+    ]
+    for p in curve.points:
+        lines.append(
+            f"{p.offered_flits_per_node_cycle:>9.4f} "
+            f"{p.accepted_flits_per_node_cycle:>9.4f} "
+            f"{p.avg_latency:>9.1f} {p.delivered:>9d} "
+            f"{str(p.saturated):>9}"
+        )
+    if curve.saturation_rate is not None:
+        lines.append(
+            f"saturation: offered ~{curve.saturation_rate:.4f} "
+            f"flits/node/cycle (accepted {curve.saturation_throughput:.4f})"
+        )
+    else:
+        lines.append(
+            f"no saturation below {_max_rate(curve):.4f} flits/node/cycle "
+            f"(peak accepted {curve.saturation_throughput:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def curve_csv(curve: SaturationCurve) -> str:
+    """CSV rendering (header + one row per load point)."""
+    lines = ["offered,accepted,avg_latency,delivered,saturated"]
+    for p in curve.points:
+        lines.append(
+            f"{p.offered_flits_per_node_cycle!r},"
+            f"{p.accepted_flits_per_node_cycle!r},"
+            f"{p.avg_latency!r},{p.delivered},{int(p.saturated)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _max_rate(curve: SaturationCurve) -> float:
+    if curve.points:
+        return max(p.offered_flits_per_node_cycle for p in curve.points)
+    return float(curve.params.get("max_rate", 0.0))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A bundle of saturation curves from one study.
+
+    Curves are keyed by their ``(topology_label, pattern)`` pair —
+    topology labels are study-level names like ``"generated"`` or
+    ``"generated+spare"`` that may differ from the underlying
+    ``Topology.name``.
+    """
+
+    label: str
+    curves: Tuple[Tuple[str, str, SaturationCurve], ...]
+    schema: int = SWEEP_SCHEMA
+
+    def curve(self, topology_label: str, pattern: str) -> SaturationCurve:
+        for top, pat, curve in self.curves:
+            if top == topology_label and pat == pattern:
+                return curve
+        raise SimulationError(
+            f"no curve for topology {topology_label!r} / pattern {pattern!r} "
+            f"in sweep result {self.label!r}"
+        )
+
+    @property
+    def topology_labels(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for top, _, _ in self.curves:
+            if top not in seen:
+                seen.append(top)
+        return tuple(seen)
+
+    @property
+    def patterns(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for _, pat, _ in self.curves:
+            if pat not in seen:
+                seen.append(pat)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "kind": "sweep-result",
+            "label": self.label,
+            "curves": [
+                {"topology": top, "pattern": pat, "curve": curve.to_dict()}
+                for top, pat, curve in self.curves
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SweepResult":
+        schema = raw.get("schema")
+        if schema != SWEEP_SCHEMA:
+            raise SimulationError(
+                f"unsupported sweep artifact schema {schema!r} "
+                f"(this build reads schema {SWEEP_SCHEMA})"
+            )
+        return cls(
+            label=raw["label"],
+            curves=tuple(
+                (
+                    entry["topology"],
+                    entry["pattern"],
+                    SaturationCurve.from_dict(entry["curve"]),
+                )
+                for entry in raw["curves"]
+            ),
+            schema=schema,
+        )
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+
+def degradation_table(
+    result: SweepResult, baseline: str = "mesh", title: Optional[str] = None
+) -> str:
+    """Saturation throughput per (pattern, topology), relative to a baseline.
+
+    The off-design robustness question in one table: each cell shows a
+    topology's saturation throughput and, in parentheses, its ratio to
+    the baseline topology's on the same pattern — below 1.0 means the
+    topology degrades relative to the baseline on that traffic.
+    """
+    tops = result.topology_labels
+    if baseline not in tops:
+        raise SimulationError(
+            f"baseline topology {baseline!r} not in sweep result "
+            f"(have {', '.join(tops)})"
+        )
+    width = max(12, max(len(t) for t in tops) + 9)
+    header = f"{'pattern':<16}" + "".join(f"{t:>{width}}" for t in tops)
+    lines = [title or f"saturation throughput (flits/node/cycle), "
+             f"ratio vs {baseline}", header, "-" * len(header)]
+    for pattern in result.patterns:
+        base = result.curve(baseline, pattern).saturation_throughput
+        row = f"{pattern:<16}"
+        for top in tops:
+            sat = result.curve(top, pattern).saturation_throughput
+            ratio = sat / base if base > 0 else float("inf")
+            row += f"{sat:>{width - 7}.4f} ({ratio:4.2f})"
+        lines.append(row)
+    return "\n".join(lines)

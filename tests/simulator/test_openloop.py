@@ -192,3 +192,63 @@ class TestCurve:
             crossbar(8), [0.05, 0.4], measure_cycles=800
         )
         assert points[-1].avg_latency < 3 * points[0].avg_latency
+
+    def test_single_rate_curve(self):
+        points = latency_throughput_curve(mesh(2, 2), [0.1], measure_cycles=600)
+        assert len(points) == 1
+        assert points[0].offered_flits_per_node_cycle == 0.1
+
+    def test_empty_rate_list(self):
+        assert latency_throughput_curve(mesh(2, 2), []) == []
+
+    def test_monotone_curve_peak_is_last_point(self):
+        """A curve that never saturates reports its highest accepted
+        rate, which on a monotone curve is the last point's."""
+        points = [
+            LoadPoint(0.1, 0.09, 10, 100, False),
+            LoadPoint(0.3, 0.28, 12, 300, False),
+            LoadPoint(0.5, 0.47, 15, 500, False),
+        ]
+        assert saturation_throughput(points) == 0.47
+
+    def test_non_monotone_noise_peak_is_max_not_last(self):
+        """Post-saturation accepted throughput can droop; the peak must
+        be the maximum over the curve, not the final point."""
+        points = [
+            LoadPoint(0.2, 0.19, 10, 100, False),
+            LoadPoint(0.6, 0.55, 40, 300, False),
+            LoadPoint(1.0, 0.48, 600, 280, True),
+        ]
+        assert saturation_throughput(points) == 0.55
+
+    def test_curve_stops_early_once_saturated(self):
+        """The saturating middle rate must be the last point measured."""
+        points = latency_throughput_curve(
+            mesh(2, 1),
+            [0.05, 2.0, 0.1],
+            warmup_cycles=100,
+            measure_cycles=400,
+            drain_cycles=200,
+        )
+        assert points[-1].saturated
+        assert len(points) == 2
+
+
+class TestRegistryReExport:
+    def test_openloop_patterns_is_the_sweeps_registry(self):
+        """``openloop.PATTERNS`` must be the same object as the sweeps
+        registry view so registrations are visible through both."""
+        from repro.simulator import openloop
+        from repro.sweeps import patterns as sweeps_patterns
+
+        assert openloop.PATTERNS is sweeps_patterns.PATTERNS
+        assert openloop.resolve_pattern is sweeps_patterns.resolve_pattern
+
+    def test_patterns_dict_has_canonical_suite(self):
+        from repro.simulator.openloop import PATTERNS
+
+        for name in (
+            "uniform", "neighbor", "tornado", "transpose", "hotspot",
+            "bit_complement", "bit_reverse", "bit_rotation", "shuffle",
+        ):
+            assert name in PATTERNS

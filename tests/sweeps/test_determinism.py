@@ -1,0 +1,109 @@
+"""Sweep determinism: serial == parallel == cache-hit, byte for byte.
+
+Extends the PR-2 golden harness (``tests/eval/test_determinism.py``) to
+the sweep subsystem: the golden fixture pins the canonical JSON of a
+small tornado sweep on the 4x4 mesh.  Regenerate after an *intentional*
+change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sweeps/test_determinism.py -q
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.parallel import OpenLoopCell, ResultCache, run_cells
+from repro.eval.serialize import canonical_json
+from repro.simulator import SimConfig
+from repro.sweeps.driver import SweepConfig, run_sweep
+from repro.topology import mesh, torus
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "mesh4x4_tornado_sweep.json"
+
+SWEEP = SweepConfig(
+    initial_points=3,
+    refine_iters=2,
+    warmup_cycles=100,
+    measure_cycles=400,
+    drain_cycles=600,
+)
+
+
+def _sweep(**kwargs):
+    return run_sweep(mesh(4, 4), "tornado", sweep=SWEEP, **kwargs)
+
+
+class TestGoldenSweep:
+    def test_serial_run_matches_golden(self):
+        got = _sweep().to_json()
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(got + "\n", encoding="utf-8")
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert got == GOLDEN_PATH.read_text(encoding="utf-8").rstrip("\n")
+
+    def test_cache_hit_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = _sweep(cache=cache)
+        warm = _sweep(cache=cache)
+        assert warm.to_json() == cold.to_json()
+
+    @pytest.mark.slow
+    def test_parallel_run_is_byte_identical(self):
+        serial = _sweep(jobs=1)
+        parallel = _sweep(jobs=2)
+        assert parallel.to_json() == serial.to_json()
+
+    def test_cache_survives_serial_parallel_mix(self, tmp_path):
+        """A cache warmed serially must satisfy a parallel run (and vice
+        versa) — the cache key may not depend on the execution mode."""
+        cache = ResultCache(tmp_path / "cache")
+        serial = _sweep(cache=cache)
+        parallel = _sweep(cache=cache, jobs=2)
+        assert parallel.to_json() == serial.to_json()
+
+
+def _cell(**over):
+    fields = dict(
+        label="c",
+        topology=mesh(4, 4),
+        pattern="tornado",
+        injection_rate=0.25,
+        config=SimConfig(),
+        seed=0,
+    )
+    fields.update(over)
+    return OpenLoopCell(**fields)
+
+
+class TestOpenLoopCellKeys:
+    def test_key_is_stable(self):
+        assert _cell().key() == _cell().key()
+
+    def test_key_ignores_label(self):
+        assert _cell().key() == _cell(label="other").key()
+
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"pattern": "uniform"},
+            {"injection_rate": 0.5},
+            {"seed": 1},
+            {"packet_bytes": 64},
+            {"measure_cycles": 999},
+            {"config": SimConfig(num_vcs=2)},
+            {"topology": torus(4, 4)},
+            {"link_delays": {0: 2}},
+        ],
+    )
+    def test_key_distinguishes(self, over):
+        assert _cell().key() != _cell(**over).key()
+
+    def test_outcome_payload_is_canonical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_cells([_cell()], cache=cache)
+        warm = run_cells([_cell()], cache=cache)
+        assert not cold[0].cache_hit and warm[0].cache_hit
+        assert canonical_json(cold[0].payload) == canonical_json(warm[0].payload)

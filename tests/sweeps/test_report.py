@@ -1,0 +1,133 @@
+"""Tests for schema-versioned sweep artifacts and renderings."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.openloop import LoadPoint
+from repro.sweeps.report import (
+    SWEEP_SCHEMA,
+    SaturationCurve,
+    SweepResult,
+    curve_csv,
+    curve_table,
+    degradation_table,
+)
+
+
+def _curve(topology="mesh", pattern="tornado", sat=0.42, **over):
+    fields = dict(
+        topology_name=topology,
+        pattern=pattern,
+        num_nodes=16,
+        seed=0,
+        points=(
+            LoadPoint(0.1, 0.09333333333333334, 20.0, 128, False),
+            LoadPoint(0.55, 0.42, 180.5, 700, False),
+            LoadPoint(1.0, 0.43, 900.0, 720, True),
+        ),
+        saturation_rate=0.55,
+        saturation_throughput=sat,
+        saturated=True,
+        params={"min_rate": 0.1, "max_rate": 1.0},
+    )
+    fields.update(over)
+    return SaturationCurve(**fields)
+
+
+class TestSaturationCurve:
+    def test_round_trip_is_byte_identical(self):
+        curve = _curve()
+        text = curve.to_json()
+        again = SaturationCurve.from_dict(json.loads(text))
+        assert again == curve
+        assert again.to_json() == text
+
+    def test_canonical_json_has_no_whitespace(self):
+        text = _curve().to_json()
+        assert ": " not in text and ", " not in text
+
+    def test_schema_stamped(self):
+        assert _curve().to_dict()["schema"] == SWEEP_SCHEMA
+        assert _curve().to_dict()["kind"] == "saturation-curve"
+
+    def test_schema_mismatch_rejected(self):
+        raw = _curve().to_dict()
+        raw["schema"] = SWEEP_SCHEMA + 1
+        with pytest.raises(SimulationError, match="schema"):
+            SaturationCurve.from_dict(raw)
+        with pytest.raises(SimulationError, match="schema"):
+            SaturationCurve.from_dict({})
+
+    def test_table_mentions_knee(self):
+        text = curve_table(_curve())
+        assert "tornado on mesh" in text
+        assert "saturation: offered ~0.5500" in text
+
+    def test_table_reports_no_saturation(self):
+        curve = _curve(saturation_rate=None, saturated=False)
+        assert "no saturation below 1.0000" in curve_table(curve)
+
+    def test_render_matches_table(self):
+        assert _curve().render() == curve_table(_curve())
+
+    def test_csv_round_trips_floats_exactly(self):
+        curve = _curve()
+        lines = curve_csv(curve).strip().splitlines()
+        assert lines[0] == "offered,accepted,avg_latency,delivered,saturated"
+        assert len(lines) == 1 + len(curve.points)
+        first = lines[1].split(",")
+        assert float(first[1]) == curve.points[0].accepted_flits_per_node_cycle
+
+
+class TestSweepResult:
+    def _result(self):
+        return SweepResult(
+            label="study",
+            curves=(
+                ("mesh", "tornado", _curve("mesh", "tornado", sat=0.5)),
+                ("mesh", "uniform", _curve("mesh", "uniform", sat=0.6)),
+                ("generated", "tornado", _curve("generated", "tornado", sat=0.25)),
+                ("generated", "uniform", _curve("generated", "uniform", sat=0.6)),
+            ),
+        )
+
+    def test_round_trip_is_byte_identical(self):
+        result = self._result()
+        text = result.to_json()
+        again = SweepResult.from_dict(json.loads(text))
+        assert again == result
+        assert again.to_json() == text
+
+    def test_schema_mismatch_rejected(self):
+        raw = self._result().to_dict()
+        raw["schema"] = 99
+        with pytest.raises(SimulationError, match="schema"):
+            SweepResult.from_dict(raw)
+
+    def test_lookup_and_orders(self):
+        result = self._result()
+        assert result.topology_labels == ("mesh", "generated")
+        assert result.patterns == ("tornado", "uniform")
+        assert result.curve("generated", "tornado").saturation_throughput == 0.25
+
+    def test_missing_curve_raises(self):
+        with pytest.raises(SimulationError, match="no curve"):
+            self._result().curve("torus", "tornado")
+
+    def test_degradation_table_ratios(self):
+        table = degradation_table(self._result(), baseline="mesh")
+        assert "tornado" in table and "uniform" in table
+        # generated/tornado degrades to half the mesh baseline.
+        assert "(0.50)" in table
+        # on-design parity shows up as 1.00.
+        assert "(1.00)" in table
+
+    def test_degradation_table_needs_baseline(self):
+        with pytest.raises(SimulationError, match="baseline"):
+            degradation_table(self._result(), baseline="torus")
+
+    def test_degradation_table_custom_title(self):
+        table = degradation_table(self._result(), title="smoke study")
+        assert table.splitlines()[0] == "smoke study"

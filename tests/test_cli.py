@@ -160,3 +160,59 @@ class TestVerifyCommand:
         assert args.topology == "generated"
         assert args.require_cf is None
         assert not args.dynamic
+
+
+class TestSweepCommand:
+    FAST = [
+        "sweep", "--nodes", "8", "--points", "2", "--refine", "1", "--no-cache",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.pattern == "uniform"
+        assert args.topology == "mesh"
+        assert args.nodes == 16
+        assert args.points == 6 and args.refine == 4
+        assert not args.strict_patterns
+
+    def test_list_patterns(self, capsys):
+        rc = main(["sweep", "--list-patterns"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tornado" in out
+        assert "hotspot" in out
+        assert "routing-aware" in out
+
+    def test_mesh_tornado_sweep_prints_curve(self, capsys):
+        rc = main(self.FAST + ["--pattern", "tornado"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "saturation sweep: tornado on mesh" in out
+        assert "offered" in out and "accepted" in out
+
+    def test_json_and_csv_artifacts(self, tmp_path, capsys):
+        import json
+
+        jpath, cpath = tmp_path / "curve.json", tmp_path / "points.csv"
+        rc = main(
+            self.FAST
+            + ["--pattern", "hotspot:1:0.8", "--json", str(jpath), "--csv", str(cpath)]
+        )
+        assert rc == 0
+        payload = json.loads(jpath.read_text())
+        assert payload["kind"] == "saturation-curve"
+        assert payload["pattern"] == "hotspot:1:0.8"
+        assert payload["schema"] == 1
+        assert cpath.read_text().startswith("offered,accepted,")
+
+    def test_strict_pattern_violation_is_clean_error(self, capsys):
+        rc = main(self.FAST + ["--pattern", "transpose", "--strict-patterns"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "requires" in err
+
+    def test_unknown_pattern_is_clean_error(self, capsys):
+        rc = main(self.FAST + ["--pattern", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "unknown pattern" in err
