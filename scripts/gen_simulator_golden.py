@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the simulator byte-identity goldens.
+
+Runs the differential corpus (``tests/simulator/diff_corpus.py``)
+through the *current* engine and writes the payloads as sorted JSON
+under ``tests/simulator/golden/``.  The committed goldens were frozen
+from the pre-event-queue engine; regenerating them is only legitimate
+when an intentional behavior change lands, and the diff must be
+reviewed case by case — the whole point of the fixtures is that the
+engine rewrite cannot silently redefine its own oracle.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_simulator_golden.py [--out-dir DIR]
+    PYTHONPATH=src python scripts/gen_simulator_golden.py --lanes fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from tests.simulator import diff_corpus
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir", type=Path, default=ROOT / "tests" / "simulator" / "golden",
+    )
+    parser.add_argument(
+        "--lanes", nargs="+", default=[diff_corpus.FAST, diff_corpus.SLOW],
+        choices=(diff_corpus.FAST, diff_corpus.SLOW),
+    )
+    args = parser.parse_args()
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.simulator.openloop import run_open_loop
+    from repro.simulator.simulation import simulate
+    from repro.verify.dynamic import replay_pattern
+
+    started = time.perf_counter()
+
+    def progress(msg: str) -> None:
+        print(f"[{time.perf_counter() - started:7.1f}s] {msg}", flush=True)
+
+    corpus = diff_corpus.build_corpus(
+        simulate, replay_pattern, run_open_loop,
+        lanes=tuple(args.lanes), progress=progress,
+    )
+    for filename, payloads in corpus.items():
+        path = args.out_dir / filename
+        path.write_text(json.dumps(payloads, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(payloads)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

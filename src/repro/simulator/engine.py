@@ -1,4 +1,4 @@
-"""Cycle-driven simulation engine.
+"""Event-queue simulation engine.
 
 Models wormhole flit transport over the fabric of
 :mod:`repro.simulator.fabric`: per-cycle virtual-channel allocation,
@@ -7,6 +7,20 @@ cycle), credit-based flow control with delay-accurate credit return,
 and timeout-based deadlock detection with regressive recovery (killed
 packets drain and are retransmitted from the source — the paper's
 "detection and regressive recovery" discipline).
+
+All scheduling flows through one global :class:`~repro.simulator.events.EventQueue`:
+flit arrivals, credit returns, and NIC wake-ups (packet inject times,
+retransmission backoffs, injection back-pressure releases) are events
+keyed on ``(time, insertion seq)``.  Routers and NICs are stepped only
+while members of the active sets, and every way a sleeping component
+can become relevant again — an arriving flit, a returning credit, a
+queued inject time, a fault transition — schedules or performs its
+activation, so drivers can jump straight to
+:meth:`Engine.next_event_time` across idle gaps.  The cycle-driven
+semantics are unchanged (see ``docs/SIMULATOR.md`` for the event model
+and its determinism rules); the byte-identity differential harness in
+``tests/simulator/test_event_queue_diff.py`` holds this engine to the
+vendored :mod:`~repro.simulator.legacy_engine` oracle.
 
 Fault injection: when a :class:`~repro.faults.state.FaultState` is
 supplied, every allocation and traversal decision consults it.  Flits
@@ -26,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.obs import DISABLED, Observability
 from repro.simulator.config import SimConfig
+from repro.simulator.events import CREDIT, FLIT, NIC_WAKE, EventQueue
 from repro.simulator.fabric import Channel, InputVC, Nic, Router
 from repro.simulator.packet import ChannelId, Flit, Packet
 from repro.simulator.routing import SimRouting
@@ -33,10 +48,6 @@ from repro.topology.builders import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.state import FaultState
-
-# Heap event kinds.
-_FLIT = 0
-_CREDIT = 1
 
 DeliveryHandler = Callable[[int, int, int, int], None]  # (src, dst, seq, cycle)
 
@@ -114,17 +125,19 @@ class Engine:
         self.nics: Dict[int, Nic] = {}
         self._build_fabric(link_delays or {})
 
-        self._heap: List[Tuple[int, int, int, tuple]] = []
-        self._heap_seq = 0
+        # The single event queue.  The engine never cancels events it
+        # schedules — killed packets' flits must still arrive so their
+        # buffer credits return through the normal path — so the
+        # dispatch loop may pop the raw heap without a tombstone check.
+        self._events = EventQueue()
         self._active_routers = _SortedIdSet()
         # Event-driven NIC stepping: a NIC is stepped only while in the
         # active set.  It sleeps when idle, when every queued packet
-        # injects in the future (a wake-heap entry covers the earliest),
+        # injects in the future (a NIC_WAKE event covers the earliest),
         # when blocked on an inject-channel credit (the credit's return
         # reactivates it), or when its inject channel is dead (a fault
         # transition reactivates it).
         self._active_nics: set = set()
-        self._nic_wake: List[Tuple[int, int]] = []  # (cycle, processor)
         self.nic_wakeups = 0
         # packet_id -> {id(InputVC): InputVC} for every input VC whose
         # current assignment belongs to that packet; lets _kill_packet
@@ -151,7 +164,10 @@ class Engine:
         self._delivery_handler: Optional[DeliveryHandler] = None
         self._delivery_observers: List[DeliveryHandler] = []
         self._channel_busy_cycles: Dict[ChannelId, int] = {}
-        self._last_transition_seen = -1
+        # Index of the earliest fault transition not yet crossed;
+        # FaultState.transitions is sorted, so crossing is an O(1)
+        # pointer bump instead of a scan of every window boundary.
+        self._transition_idx = 0
         # Highest cycle this engine has simulated, plus one — the busy
         # window link-utilization fractions normalize over (covers the
         # drain after the last process finishes, so utilization stays
@@ -240,14 +256,10 @@ class Engine:
         self.routing.prepare(packet, self.network)
         self._packets[packet.packet_id] = packet
         self.nics[source].enqueue(packet)
-        heapq.heappush(self._nic_wake, (inject_cycle, source))
+        self._events.push(inject_cycle, NIC_WAKE, source)
         return packet.packet_id
 
     # -- scheduling helpers ----------------------------------------------
-
-    def _push(self, time: int, kind: int, payload: tuple) -> None:
-        heapq.heappush(self._heap, (time, self._heap_seq, kind, payload))
-        self._heap_seq += 1
 
     def _activate_nic(self, processor: int) -> None:
         """Move a NIC into the active set (idempotent)."""
@@ -257,15 +269,30 @@ class Engine:
             if self._obs_on:
                 self._c_nic_wakeups.inc()
 
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest scheduled event, or ``None``.
+
+        Covers flit/credit arrivals *and* NIC wake-ups.  A pending
+        wake-up always corresponds to a still-queued packet (wakes fire
+        at their inject cycle, and a packet cannot be dequeued before a
+        visited cycle at or past its inject time), so this single peek
+        subsumes the old ``min(next_heap_time(), next_inject_time(t))``
+        idle-advance computation.
+        """
+        return self._events.peek_time()
+
     def next_heap_time(self) -> Optional[int]:
-        return self._heap[0][0] if self._heap else None
+        """Alias of :meth:`next_event_time` (pre-event-queue name)."""
+        return self._events.peek_time()
 
     def next_inject_time(self, after: int) -> Optional[int]:
         """Earliest queued inject time strictly greater than ``after``.
 
         Each NIC keeps its queued inject times sorted, so this is a
         binary search per NIC instead of a scan over every queued
-        packet — the idle-advance path of deep-queue programs.
+        packet.  Idle-advance no longer needs it (queued inject times
+        ride the event queue as NIC_WAKE events); kept for
+        introspection and tests.
         """
         best: Optional[int] = None
         for nic in self.nics.values():
@@ -278,8 +305,12 @@ class Engine:
         return any(nic.queue or nic.streaming for nic in self.nics.values())
 
     def busy(self) -> bool:
-        """Whether any traffic exists anywhere in the engine."""
-        return bool(self._heap) or self.flits_in_network > 0 or self.has_queued_packets()
+        """Whether any traffic exists anywhere in the engine.
+
+        A pending NIC_WAKE implies a queued packet, so counting wakes
+        as "busy" matches the pre-event-queue answer exactly.
+        """
+        return bool(self._events) or self.flits_in_network > 0 or self.has_queued_packets()
 
     # -- faults -----------------------------------------------------------
 
@@ -296,19 +327,18 @@ class Engine:
     def _cross_fault_transitions(self, t: int) -> None:
         """Wake the whole fabric when a fault activates or recovers, so
         blocked head flits re-arbitrate immediately."""
-        if self.faults is None:
+        transitions = self.faults.transitions
+        idx = self._transition_idx
+        if idx >= len(transitions) or transitions[idx] > t:
             return
-        crossed = False
-        for cycle in self.faults.transitions:
-            if self._last_transition_seen < cycle <= t:
-                self._last_transition_seen = cycle
-                crossed = True
-        if crossed:
-            self._active_routers.update(self.routers)
-            # A recovered inject channel unblocks its sleeping NIC; a
-            # failed one needs the NIC stepped once to notice and park.
-            for p in self.nics:
-                self._activate_nic(p)
+        while idx < len(transitions) and transitions[idx] <= t:
+            idx += 1
+        self._transition_idx = idx
+        self._active_routers.update(self.routers)
+        # A recovered inject channel unblocks its sleeping NIC; a
+        # failed one needs the NIC stepped once to notice and park.
+        for p in self.nics:
+            self._activate_nic(p)
 
     # -- the cycle --------------------------------------------------------
 
@@ -318,9 +348,9 @@ class Engine:
             self.cycles_simulated = t + 1
         if self._obs_on and t >= self._next_sample:
             self._sample_window(t)
-        self._cross_fault_transitions(t)
-        moved = False
-        moved |= self._deliver_events(t)
+        if self.faults is not None:
+            self._cross_fault_transitions(t)
+        moved = self._dispatch_events(t)
         moved |= self._step_routers(t)
         moved |= self._step_nics(t)
         if moved:
@@ -344,18 +374,34 @@ class Engine:
                 if occupancy or cid in busy:
                     m.series(name).append(t, occupancy)
 
-    def _deliver_events(self, t: int) -> bool:
+    def _dispatch_events(self, t: int) -> bool:
+        """Pop and handle every event due at or before cycle ``t``.
+
+        Flit and credit deliveries must land exactly on their cycle (a
+        past-due one means the driver skipped a scheduled cycle — a
+        scheduling bug worth an immediate error).  NIC wake-ups are
+        exempt from that skew check: a packet may legitimately be
+        submitted with an inject cycle already in the past, and its
+        wake then fires on the next visited cycle.
+        """
         moved = False
-        while self._heap and self._heap[0][0] <= t:
-            time, _, kind, payload = heapq.heappop(self._heap)
+        heap = self._events._heap
+        push = self._events.push
+        channels = self.channels
+        while heap and heap[0][0] <= t:
+            time, _, kind, payload = heapq.heappop(heap)
+            if kind == NIC_WAKE:
+                self._activate_nic(payload)
+                continue
             if time < t:
                 raise SimulationError(
                     f"engine time skew: event at {time} processed at {t}"
                 )
-            if kind == _CREDIT:
+            if kind == CREDIT:
                 cid, vc = payload
-                self.channels[cid].credits[vc] += 1
-                src_kind, src_id = self.channels[cid].src
+                channel = channels[cid]
+                channel.credits[vc] += 1
+                src_kind, src_id = channel.src
                 if src_kind == "router":
                     self._active_routers.add(src_id)
                 else:
@@ -364,28 +410,32 @@ class Engine:
                     self._activate_nic(src_id)
             else:
                 cid, vc, flit = payload
-                channel = self.channels[cid]
+                channel = channels[cid]
                 dst_kind, dst_id = channel.dst
-                if not flit.packet.killed and self._dead(cid, t):
+                if (
+                    self.faults is not None
+                    and not flit.packet.killed
+                    and self._dead(cid, t)
+                ):
                     # The flit was in flight when the channel failed: it
                     # is lost.  Kill the packet so its remaining flits
                     # drain and the source retransmits — the same
                     # regressive-recovery path the deadlock detector
                     # uses.  (Credit signaling is assumed reliable.)
-                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    push(t + channel.delay, CREDIT, (cid, vc))
                     self.flits_in_network -= 1
                     moved = True
                     self._fault_kill(flit.packet, t)
                 elif dst_kind == "nic":
                     # NICs are infinite sinks: consume immediately.
-                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    push(t + channel.delay, CREDIT, (cid, vc))
                     self.flits_in_network -= 1
                     moved = True
                     if flit.is_tail and not flit.packet.killed:
                         self._complete_delivery(flit.packet, t)
                 elif flit.packet.killed:
                     # Drop killed flits on arrival, returning the credit.
-                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    push(t + channel.delay, CREDIT, (cid, vc))
                     self.flits_in_network -= 1
                     moved = True
                 else:
@@ -430,25 +480,43 @@ class Engine:
 
     def _step_routers(self, t: int) -> bool:
         moved = False
+        push = self._events.push
+        channels = self.channels
         for sid in self._active_routers.ordered():
             router = self.routers[sid]
             active = router.active_vcs()
             if not active:
+                # Nothing buffered: a no-op membership (typically a
+                # credit returning to an already-drained router).  With
+                # observability on, keep it — the sampled
+                # ``sim.active_routers`` series counts exactly what the
+                # pre-event-queue engine counted.  Without obs the
+                # membership is unobservable, so drop it instead of
+                # re-scanning an empty router every visited cycle.
+                if not self._obs_on:
+                    self._active_routers.discard(sid)
                 continue
             # Phase 0: drop killed flits sitting at buffer fronts.
+            dropped = False
             for cid, vc, ivc in active:
                 while ivc.buffer and ivc.buffer[0].packet.killed:
                     ivc.buffer.popleft()
-                    self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                    push(t + channels[cid].delay, CREDIT, (cid, vc))
                     self.flits_in_network -= 1
                     moved = True
-            active = [(cid, vc, ivc) for cid, vc, ivc in active if ivc.buffer]
-            # Phase 1: route + VC allocation for new head flits.
+                    dropped = True
+            if dropped:
+                active = [(cid, vc, ivc) for cid, vc, ivc in active if ivc.buffer]
+            # Phase 1: route + VC allocation for new head flits.  Every
+            # slot in ``active`` has a non-empty buffer here (phase 0
+            # filtered the drained ones), so the front flit is read
+            # directly.
             for cid, vc, ivc in active:
-                front = ivc.front
-                if front is None or not front.is_head:
+                front = ivc.buffer[0]
+                if not front.is_head:
                     continue
-                if ivc.assignment is not None and ivc.assignment[0] == front.packet.packet_id:
+                assignment = ivc.assignment
+                if assignment is not None and assignment[0] == front.packet.packet_id:
                     continue
                 candidates = self.routing.candidates(front.packet, sid)
                 if self.faults is not None:
@@ -461,10 +529,10 @@ class Engine:
                     # order — deterministic congestion-aware TFAR.
                     candidates = sorted(
                         candidates,
-                        key=lambda c: self.channels[c].busy_vcs(),
+                        key=lambda c: channels[c].busy_vcs(),
                     )
                 for out_cid in candidates:
-                    out_channel = self.channels[out_cid]
+                    out_channel = channels[out_cid]
                     out_vc = out_channel.free_vc()
                     if out_vc is not None:
                         out_channel.owner[out_vc] = front.packet.packet_id
@@ -478,37 +546,55 @@ class Engine:
                         if self._obs_on:
                             self._c_contention_stalls.inc()
             # Phase 2: switch allocation, one flit per output channel.
-            requests: Dict[ChannelId, List[int]] = {}
+            flat: List[Tuple[ChannelId, int]] = []
             for idx, (cid, vc, ivc) in enumerate(active):
-                front = ivc.front
-                if front is None or ivc.assignment is None:
+                assignment = ivc.assignment
+                if assignment is None:
                     continue
-                pid, out_cid, out_vc = ivc.assignment
-                if pid != front.packet.packet_id:
+                pid, out_cid, out_vc = assignment
+                if pid != ivc.buffer[0].packet.packet_id:
                     continue
-                if self._dead(out_cid, t):
+                if self.faults is not None and self._dead(out_cid, t):
                     continue  # channel failed after allocation: stall
-                if self.channels[out_cid].credits[out_vc] > 0:
-                    requests.setdefault(out_cid, []).append(idx)
+                if channels[out_cid].credits[out_vc] > 0:
+                    flat.append((out_cid, idx))
                 elif self._obs_on:
                     # Allocated VC but no credit: back-pressure stall.
                     self._c_credit_stalls.inc()
-            for out_cid in sorted(requests):
-                losers = len(requests[out_cid]) - 1
+            # Group by output channel only when more than one VC made a
+            # request — the streaming common case is a single request,
+            # where the dict build and key sort are pure overhead.
+            if len(flat) == 1:
+                groups = [(flat[0][0], [flat[0][1]])]
+            elif flat:
+                requests: Dict[ChannelId, List[int]] = {}
+                for out_cid, idx in flat:
+                    requests.setdefault(out_cid, []).append(idx)
+                groups = [(out_cid, requests[out_cid]) for out_cid in sorted(requests)]
+            else:
+                groups = []
+            for out_cid, reqs in groups:
+                losers = len(reqs) - 1
                 if losers:
                     # Distinct packets competing for one physical
                     # channel this cycle; all but the winner stall.
                     self.contention_stalls += losers
                     if self._obs_on:
                         self._c_contention_stalls.inc(losers)
-                winner_idx = router.arbitrate(out_cid, requests[out_cid])
+                    winner_idx = router.arbitrate(out_cid, reqs)
+                else:
+                    # Sole requester: round-robin always grants it and
+                    # parks the pointer just past it, exactly what
+                    # ``arbitrate`` computes for a one-element list.
+                    winner_idx = reqs[0]
+                    router._rr[out_cid] = winner_idx + 1
                 cid, vc, ivc = active[winner_idx]
                 flit = ivc.buffer.popleft()
                 _, _, out_vc = ivc.assignment
-                out_channel = self.channels[out_cid]
+                out_channel = channels[out_cid]
                 out_channel.credits[out_vc] -= 1
-                self._push(t + out_channel.delay, _FLIT, (out_cid, out_vc, flit))
-                self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                push(t + out_channel.delay, FLIT, (out_cid, out_vc, flit))
+                push(t + channels[cid].delay, CREDIT, (cid, vc))
                 self._channel_busy_cycles[out_cid] = (
                     self._channel_busy_cycles.get(out_cid, 0) + 1
                 )
@@ -519,7 +605,13 @@ class Engine:
                 if flit.is_tail:
                     self._clear_assignment(ivc)
                     out_channel.owner[out_vc] = None
-            if not router.active_vcs():
+            # Emptiness check over the slots seen this cycle is enough:
+            # a slot outside ``active`` was empty when the cycle's
+            # arrivals were already in, and nothing below refills it.
+            for slot in active:
+                if slot[2].buffer:
+                    break
+            else:
                 self._active_routers.discard(sid)
         return moved
 
@@ -527,31 +619,28 @@ class Engine:
         """Step every *active* NIC (event-driven injection).
 
         A NIC that cannot possibly make progress is parked out of the
-        active set with a wake condition armed — the wake heap for
+        active set with a wake condition armed — a NIC_WAKE event for
         future inject times, the inject channel's credit return for
         back-pressure, a fault transition for a dead channel, an
         enqueue for an empty queue — so idle-heavy traces stop paying a
         full NIC sweep per cycle.  Decisions and ``moved`` are
         byte-identical to the always-sweep implementation: a parked NIC
         is exactly one that would have done nothing."""
-        wake = self._nic_wake
-        while wake and wake[0][0] <= t:
-            self._activate_nic(heapq.heappop(wake)[1])
         if not self._active_nics:
             return False
         moved = False
+        push = self._events.push
         for p in sorted(self._active_nics):
             nic = self.nics[p]
             channel = self.channels[nic.inject_channel]
-            if self._dead(nic.inject_channel, t):
+            if self.faults is not None and self._dead(nic.inject_channel, t):
                 # Injection blocked while the channel is down; every
                 # fault transition reactivates all NICs.
                 self._active_nics.discard(p)
                 continue
             if nic.streaming is None and nic.queue:
-                eligible = [pkt for pkt in nic.queue if pkt.inject_cycle <= t]
-                if eligible:
-                    pkt = min(eligible, key=lambda q: (q.inject_cycle, q.packet_id))
+                pkt = nic.peek_eligible(t)
+                if pkt is not None:
                     vc = channel.free_vc()
                     if vc is not None:
                         channel.owner[vc] = pkt.packet_id
@@ -561,7 +650,7 @@ class Engine:
                     # Every queued packet injects in the future: sleep
                     # until the earliest (the queue is non-empty and
                     # all inject times exceed t, so one exists).
-                    heapq.heappush(wake, (nic.next_inject_after(t), p))
+                    push(nic.next_inject_after(t), NIC_WAKE, p)
                     self._active_nics.discard(p)
                     continue
             if nic.streaming is not None:
@@ -570,7 +659,7 @@ class Engine:
                     flit = Flit(pkt, pkt.flits_sent)
                     channel.credits[vc] -= 1
                     pkt.flits_sent += 1
-                    self._push(t + channel.delay, _FLIT, (nic.inject_channel, vc, flit))
+                    push(t + channel.delay, FLIT, (nic.inject_channel, vc, flit))
                     self._channel_busy_cycles[nic.inject_channel] = (
                         self._channel_busy_cycles.get(nic.inject_channel, 0) + 1
                     )
@@ -690,7 +779,7 @@ class Engine:
         self.routing.prepare(replacement, self.network)
         self._packets[replacement.packet_id] = replacement
         self.nics[victim.source].enqueue(replacement)
-        heapq.heappush(self._nic_wake, (replacement.inject_cycle, victim.source))
+        self._events.push(replacement.inject_cycle, NIC_WAKE, victim.source)
         self.retransmissions += 1
         if self._obs_on:
             self._c_retransmissions.inc()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort
 from collections import deque
+from heapq import heappop, heappush
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -94,9 +95,15 @@ class Router:
         self.inputs: Dict[ChannelId, List[InputVC]] = {}
         self.output_channels: List[ChannelId] = []
         self._rr: Dict[ChannelId, int] = {}
+        # Flattened (cid, vc, ivc) slots in scan order, built lazily —
+        # the input set is fixed after fabric construction, so the
+        # per-activation ``sorted(self.inputs)`` walk collapses into a
+        # filter over one prebuilt list.
+        self._slots: Optional[List[Tuple[ChannelId, int, InputVC]]] = None
 
     def add_input(self, cid: ChannelId) -> None:
         self.inputs[cid] = [InputVC() for _ in range(self._config.num_vcs)]
+        self._slots = None
 
     def add_output(self, cid: ChannelId) -> None:
         self.output_channels.append(cid)
@@ -114,12 +121,14 @@ class Router:
 
     def active_vcs(self) -> List[Tuple[ChannelId, int, InputVC]]:
         """Non-empty input VCs in deterministic order."""
-        out = []
-        for cid in sorted(self.inputs):
-            for vc, ivc in enumerate(self.inputs[cid]):
-                if ivc.buffer:
-                    out.append((cid, vc, ivc))
-        return out
+        slots = self._slots
+        if slots is None:
+            slots = self._slots = [
+                (cid, vc, ivc)
+                for cid in sorted(self.inputs)
+                for vc, ivc in enumerate(self.inputs[cid])
+            ]
+        return [slot for slot in slots if slot[2].buffer]
 
     def arbitrate(self, cid: ChannelId, requesters: List[int]) -> int:
         """Round-robin winner among requester indices for an output."""
@@ -155,10 +164,19 @@ class Nic:
         # enqueue/dequeue so idle-advance scheduling can binary-search
         # instead of rescanning the whole queue every stalled cycle.
         self._inject_times: List[int] = []
+        # Min-heap of (inject_cycle, packet_id, packet) over queued
+        # packets, so selecting the next packet to stream is a peek
+        # instead of a min() scan of the queue.  Entries go stale when
+        # a packet is dequeued; ``_queued_ids`` marks the live ones and
+        # :meth:`peek_eligible` pops stale heads lazily.
+        self._pending: List[Tuple[int, int, Packet]] = []
+        self._queued_ids: set = set()
 
     def enqueue(self, packet: Packet) -> None:
         self.queue.append(packet)
         insort(self._inject_times, packet.inject_cycle)
+        heappush(self._pending, (packet.inject_cycle, packet.packet_id, packet))
+        self._queued_ids.add(packet.packet_id)
 
     def dequeue(self, packet: Packet) -> None:
         """Remove a packet selected for streaming from the queue."""
@@ -166,6 +184,21 @@ class Nic:
         idx = bisect_right(self._inject_times, packet.inject_cycle) - 1
         # Equal times are interchangeable; remove any one slot.
         self._inject_times.pop(idx)
+        self._queued_ids.discard(packet.packet_id)
+
+    def peek_eligible(self, t: int) -> Optional[Packet]:
+        """The queued packet with the smallest ``(inject_cycle,
+        packet_id)`` whose inject time has arrived, or ``None``.
+
+        Identical to ``min(eligible)`` over the queue — the heap order
+        is exactly that key — without scanning it.
+        """
+        pending, queued = self._pending, self._queued_ids
+        while pending and pending[0][1] not in queued:
+            heappop(pending)
+        if pending and pending[0][0] <= t:
+            return pending[0][2]
+        return None
 
     def pending_inject_cycles(self) -> List[int]:
         """Inject times of queued packets (for idle-skip scheduling)."""

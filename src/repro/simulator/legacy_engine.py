@@ -1,0 +1,972 @@
+"""Vendored pre-event-queue simulator core (the PR baseline).
+
+The event-queue rewrite of :mod:`repro.simulator.engine` must be
+byte-identical to what the cycle-driven engine produced, and the
+differential harness (``tests/simulator/test_event_queue_diff.py``)
+proves it by running both.  Flipping knobs on the rewritten engine is
+not a faithful baseline — the whole hot loop changed — so, following
+the ``benchmarks/legacy_hotpath.py`` pattern, this module vendors the
+pre-rewrite implementations verbatim:
+
+* :class:`LegacyEngine` — per-cycle stepping with a flit/credit heap,
+  a separate NIC wake heap, the lazily-sorted active-router set, and
+  the full-scan fault-transition crossing;
+* :class:`LegacyProcessReplay` — the every-process ``run_ready`` sweep
+  and O(n) ``all_done``/``anyone_blocked`` scans;
+* :func:`legacy_simulate` / :func:`legacy_replay_pattern` /
+  :func:`legacy_run_open_loop` — the drivers, including the original
+  per-cycle open-loop injection loop.
+
+The shared fabric/packet/routing modules are *not* vendored: the
+committed goldens under ``tests/simulator/golden/`` were frozen before
+those modules were touched, so a behavior change there fails the
+golden comparison for both engines.  Once the goldens have survived a
+few releases this module can be deleted without losing the oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.obs import DISABLED, Observability
+from repro.simulator.config import SimConfig
+from repro.simulator.fabric import Channel, InputVC, Nic, Router
+from repro.simulator.packet import ChannelId, Flit, Packet
+from repro.simulator.routing import SimRouting
+from repro.simulator.stats import SimulationResult
+from repro.topology.builders import Topology
+from repro.workloads.events import ComputeEvent, Program, RecvEvent, SendEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.state import FaultState
+
+# Heap event kinds.
+_FLIT = 0
+_CREDIT = 1
+
+DeliveryHandler = Callable[[int, int, int, int], None]  # (src, dst, seq, cycle)
+
+
+class _LegacySortedIdSet:
+    """A set of ids handing out a lazily cached sorted view."""
+
+    __slots__ = ("_members", "_ordered", "_dirty")
+
+    def __init__(self) -> None:
+        self._members: set = set()
+        self._ordered: List[int] = []
+        self._dirty = False
+
+    def add(self, member: int) -> None:
+        if member not in self._members:
+            self._members.add(member)
+            self._dirty = True
+
+    def update(self, members) -> None:
+        before = len(self._members)
+        self._members.update(members)
+        if len(self._members) != before:
+            self._dirty = True
+
+    def discard(self, member: int) -> None:
+        if member in self._members:
+            self._members.discard(member)
+            self._dirty = True
+
+    def ordered(self) -> List[int]:
+        if self._dirty:
+            self._ordered = sorted(self._members)
+            self._dirty = False
+        return self._ordered
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._members
+
+
+class LegacyEngine:
+    """The pre-rewrite cycle-driven engine, verbatim."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim_routing: SimRouting,
+        config: SimConfig,
+        link_delays: Optional[Dict[int, int]] = None,
+        fault_state: Optional["FaultState"] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        topology.network.validate()
+        self.topology = topology
+        self.network = topology.network
+        self.routing = sim_routing
+        self.config = config
+        self.faults = fault_state
+        self.channels: Dict[ChannelId, Channel] = {}
+        self.routers: Dict[int, Router] = {}
+        self.nics: Dict[int, Nic] = {}
+        self._build_fabric(link_delays or {})
+
+        self._heap: List[Tuple[int, int, int, tuple]] = []
+        self._heap_seq = 0
+        self._active_routers = _LegacySortedIdSet()
+        self._active_nics: set = set()
+        self._nic_wake: List[Tuple[int, int]] = []  # (cycle, processor)
+        self.nic_wakeups = 0
+        self._vc_assignments: Dict[int, Dict[int, InputVC]] = {}
+        self._packets: Dict[int, Packet] = {}
+        self._next_packet_id = 0
+        self.flits_in_network = 0
+        self.last_progress = 0
+        self.deadlocks_detected = 0
+        self.contention_stalls = 0
+        self.retransmissions = 0
+        self.fault_packet_kills = 0
+        self.delivered_packets = 0
+        self.flit_hops = 0
+        self.packet_latencies: List[int] = []
+        self._delivery_handler: Optional[DeliveryHandler] = None
+        self._delivery_observers: List[DeliveryHandler] = []
+        self._channel_busy_cycles: Dict[ChannelId, int] = {}
+        self._last_transition_seen = -1
+        self.cycles_simulated = 0
+        self.obs = obs if obs is not None else DISABLED
+        self._obs_on = self.obs.enabled
+        self._next_sample = 0
+        if self._obs_on:
+            m = self.obs.metrics
+            self._c_flits_injected = m.counter("sim.flits_injected")
+            self._c_flit_hops = m.counter("sim.flit_hops")
+            self._c_delivered = m.counter("sim.packets_delivered")
+            self._c_deadlocks = m.counter("sim.deadlocks")
+            self._c_contention_stalls = m.counter("sim.contention_stalls")
+            self._c_retransmissions = m.counter("sim.retransmissions")
+            self._c_fault_kills = m.counter("sim.fault_kills")
+            self._c_credit_stalls = m.counter("sim.credit_stalls")
+            self._c_nic_wakeups = m.counter("sim.nic_wakeups")
+            self._h_latency = m.histogram("sim.packet_latency_cycles")
+            self._s_flits = m.series("sim.flits_in_network")
+            self._s_active_routers = m.series("sim.active_routers")
+            self._occ_channels: List[Tuple[ChannelId, str]] = [
+                (cid, "sim.channel_occupancy." + ":".join(str(part) for part in cid))
+                for cid in sorted(self.channels)
+            ]
+
+    # -- construction ---------------------------------------------------
+
+    def _build_fabric(self, link_delays: Dict[int, int]) -> None:
+        for s in self.network.switches:
+            self.routers[s] = Router(s, self.config)
+        for link in self.network.links:
+            delay = max(1, link_delays.get(link.link_id, 1))
+            fwd = Channel.build(
+                ("link", link.link_id, 0), ("router", link.u), ("router", link.v), delay, self.config
+            )
+            bwd = Channel.build(
+                ("link", link.link_id, 1), ("router", link.v), ("router", link.u), delay, self.config
+            )
+            self.channels[fwd.cid] = fwd
+            self.channels[bwd.cid] = bwd
+            self.routers[link.u].add_output(fwd.cid)
+            self.routers[link.v].add_input(fwd.cid)
+            self.routers[link.v].add_output(bwd.cid)
+            self.routers[link.u].add_input(bwd.cid)
+        for p in range(self.network.num_processors):
+            s = self.network.switch_of(p)
+            inj = Channel.build(("inj", p), ("nic", p), ("router", s), 1, self.config)
+            ej = Channel.build(("ej", p), ("router", s), ("nic", p), 1, self.config)
+            self.channels[inj.cid] = inj
+            self.channels[ej.cid] = ej
+            self.routers[s].add_input(inj.cid)
+            self.routers[s].add_output(ej.cid)
+            self.nics[p] = Nic(p, inj.cid)
+
+    def set_delivery_handler(self, handler: DeliveryHandler) -> None:
+        self._delivery_handler = handler
+
+    def add_delivery_observer(self, observer: DeliveryHandler) -> None:
+        self._delivery_observers.append(observer)
+
+    # -- packet submission ------------------------------------------------
+
+    def submit(self, source: int, dest: int, size_bytes: int, inject_cycle: int, seq: int) -> int:
+        packet = Packet(
+            packet_id=self._next_packet_id,
+            source=source,
+            dest=dest,
+            size_bytes=size_bytes,
+            num_flits=self.config.flits_for(size_bytes),
+            seq=seq,
+            inject_cycle=inject_cycle,
+        )
+        self._next_packet_id += 1
+        self.routing.prepare(packet, self.network)
+        self._packets[packet.packet_id] = packet
+        self.nics[source].enqueue(packet)
+        heapq.heappush(self._nic_wake, (inject_cycle, source))
+        return packet.packet_id
+
+    # -- scheduling helpers ----------------------------------------------
+
+    def _push(self, time: int, kind: int, payload: tuple) -> None:
+        heapq.heappush(self._heap, (time, self._heap_seq, kind, payload))
+        self._heap_seq += 1
+
+    def _activate_nic(self, processor: int) -> None:
+        if processor not in self._active_nics:
+            self._active_nics.add(processor)
+            self.nic_wakeups += 1
+            if self._obs_on:
+                self._c_nic_wakeups.inc()
+
+    def next_heap_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def next_inject_time(self, after: int) -> Optional[int]:
+        best: Optional[int] = None
+        for nic in self.nics.values():
+            t = nic.next_inject_after(after)
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
+    def has_queued_packets(self) -> bool:
+        return any(nic.queue or nic.streaming for nic in self.nics.values())
+
+    def busy(self) -> bool:
+        return bool(self._heap) or self.flits_in_network > 0 or self.has_queued_packets()
+
+    # -- faults -----------------------------------------------------------
+
+    def _dead(self, cid: ChannelId, t: int) -> bool:
+        return self.faults is not None and self.faults.channel_dead(cid, t)
+
+    def next_fault_transition(self, after: int) -> Optional[int]:
+        if self.faults is None:
+            return None
+        return self.faults.next_transition(after)
+
+    def _cross_fault_transitions(self, t: int) -> None:
+        if self.faults is None:
+            return
+        crossed = False
+        for cycle in self.faults.transitions:
+            if self._last_transition_seen < cycle <= t:
+                self._last_transition_seen = cycle
+                crossed = True
+        if crossed:
+            self._active_routers.update(self.routers)
+            for p in self.nics:
+                self._activate_nic(p)
+
+    # -- the cycle --------------------------------------------------------
+
+    def step(self, t: int) -> bool:
+        if t >= self.cycles_simulated:
+            self.cycles_simulated = t + 1
+        if self._obs_on and t >= self._next_sample:
+            self._sample_window(t)
+        self._cross_fault_transitions(t)
+        moved = False
+        moved |= self._deliver_events(t)
+        moved |= self._step_routers(t)
+        moved |= self._step_nics(t)
+        if moved:
+            self.last_progress = t
+        elif self.flits_in_network > 0 and t - self.last_progress >= self.config.deadlock_threshold:
+            self._recover_deadlock(t)
+        return moved
+
+    def _sample_window(self, t: int) -> None:
+        self._next_sample = t + self.obs.sample_every
+        self._s_flits.append(t, self.flits_in_network)
+        self._s_active_routers.append(t, len(self._active_routers))
+        m = self.obs.metrics
+        if m.enabled:
+            channels = self.channels
+            busy = self._channel_busy_cycles
+            for cid, name in self._occ_channels:
+                occupancy = channels[cid].busy_vcs()
+                if occupancy or cid in busy:
+                    m.series(name).append(t, occupancy)
+
+    def _deliver_events(self, t: int) -> bool:
+        moved = False
+        while self._heap and self._heap[0][0] <= t:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time < t:
+                raise SimulationError(
+                    f"engine time skew: event at {time} processed at {t}"
+                )
+            if kind == _CREDIT:
+                cid, vc = payload
+                self.channels[cid].credits[vc] += 1
+                src_kind, src_id = self.channels[cid].src
+                if src_kind == "router":
+                    self._active_routers.add(src_id)
+                else:
+                    self._activate_nic(src_id)
+            else:
+                cid, vc, flit = payload
+                channel = self.channels[cid]
+                dst_kind, dst_id = channel.dst
+                if not flit.packet.killed and self._dead(cid, t):
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                    self._fault_kill(flit.packet, t)
+                elif dst_kind == "nic":
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                    if flit.is_tail and not flit.packet.killed:
+                        self._complete_delivery(flit.packet, t)
+                elif flit.packet.killed:
+                    self._push(t + channel.delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+                else:
+                    self.routers[dst_id].accept(cid, vc, flit, channel.buffer_depth)
+                    self._active_routers.add(dst_id)
+        return moved
+
+    def _complete_delivery(self, packet: Packet, t: int) -> None:
+        packet.delivered = True
+        self.delivered_packets += 1
+        self.packet_latencies.append(t - packet.inject_cycle)
+        if self._obs_on:
+            self._c_delivered.inc()
+            self._h_latency.observe(t - packet.inject_cycle)
+        if self._delivery_handler is not None:
+            self._delivery_handler(packet.source, packet.dest, packet.seq, t)
+        for observer in self._delivery_observers:
+            observer(packet.source, packet.dest, packet.seq, t)
+
+    def _assign_vc(self, ivc: InputVC, pid: int, out_cid: ChannelId, out_vc: int) -> None:
+        old = ivc.assignment
+        if old is not None:
+            entries = self._vc_assignments.get(old[0])
+            if entries is not None:
+                entries.pop(id(ivc), None)
+                if not entries:
+                    del self._vc_assignments[old[0]]
+        ivc.assignment = (pid, out_cid, out_vc)
+        self._vc_assignments.setdefault(pid, {})[id(ivc)] = ivc
+
+    def _clear_assignment(self, ivc: InputVC) -> None:
+        assignment = ivc.assignment
+        if assignment is not None:
+            entries = self._vc_assignments.get(assignment[0])
+            if entries is not None:
+                entries.pop(id(ivc), None)
+                if not entries:
+                    del self._vc_assignments[assignment[0]]
+        ivc.assignment = None
+
+    def _step_routers(self, t: int) -> bool:
+        moved = False
+        for sid in self._active_routers.ordered():
+            router = self.routers[sid]
+            active = router.active_vcs()
+            if not active:
+                continue
+            for cid, vc, ivc in active:
+                while ivc.buffer and ivc.buffer[0].packet.killed:
+                    ivc.buffer.popleft()
+                    self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                    self.flits_in_network -= 1
+                    moved = True
+            active = [(cid, vc, ivc) for cid, vc, ivc in active if ivc.buffer]
+            for cid, vc, ivc in active:
+                front = ivc.front
+                if front is None or not front.is_head:
+                    continue
+                if ivc.assignment is not None and ivc.assignment[0] == front.packet.packet_id:
+                    continue
+                candidates = self.routing.candidates(front.packet, sid)
+                if self.faults is not None:
+                    candidates = [c for c in candidates if not self._dead(c, t)]
+                if len(candidates) > 1:
+                    candidates = sorted(
+                        candidates,
+                        key=lambda c: self.channels[c].busy_vcs(),
+                    )
+                for out_cid in candidates:
+                    out_channel = self.channels[out_cid]
+                    out_vc = out_channel.free_vc()
+                    if out_vc is not None:
+                        out_channel.owner[out_vc] = front.packet.packet_id
+                        self._assign_vc(ivc, front.packet.packet_id, out_cid, out_vc)
+                        break
+                else:
+                    if candidates:
+                        self.contention_stalls += 1
+                        if self._obs_on:
+                            self._c_contention_stalls.inc()
+            requests: Dict[ChannelId, List[int]] = {}
+            for idx, (cid, vc, ivc) in enumerate(active):
+                front = ivc.front
+                if front is None or ivc.assignment is None:
+                    continue
+                pid, out_cid, out_vc = ivc.assignment
+                if pid != front.packet.packet_id:
+                    continue
+                if self._dead(out_cid, t):
+                    continue
+                if self.channels[out_cid].credits[out_vc] > 0:
+                    requests.setdefault(out_cid, []).append(idx)
+                elif self._obs_on:
+                    self._c_credit_stalls.inc()
+            for out_cid in sorted(requests):
+                losers = len(requests[out_cid]) - 1
+                if losers:
+                    self.contention_stalls += losers
+                    if self._obs_on:
+                        self._c_contention_stalls.inc(losers)
+                winner_idx = router.arbitrate(out_cid, requests[out_cid])
+                cid, vc, ivc = active[winner_idx]
+                flit = ivc.buffer.popleft()
+                _, _, out_vc = ivc.assignment
+                out_channel = self.channels[out_cid]
+                out_channel.credits[out_vc] -= 1
+                self._push(t + out_channel.delay, _FLIT, (out_cid, out_vc, flit))
+                self._push(t + self.channels[cid].delay, _CREDIT, (cid, vc))
+                self._channel_busy_cycles[out_cid] = (
+                    self._channel_busy_cycles.get(out_cid, 0) + 1
+                )
+                self.flit_hops += 1
+                if self._obs_on:
+                    self._c_flit_hops.inc()
+                moved = True
+                if flit.is_tail:
+                    self._clear_assignment(ivc)
+                    out_channel.owner[out_vc] = None
+            if not router.active_vcs():
+                self._active_routers.discard(sid)
+        return moved
+
+    def _step_nics(self, t: int) -> bool:
+        wake = self._nic_wake
+        while wake and wake[0][0] <= t:
+            self._activate_nic(heapq.heappop(wake)[1])
+        if not self._active_nics:
+            return False
+        moved = False
+        for p in sorted(self._active_nics):
+            nic = self.nics[p]
+            channel = self.channels[nic.inject_channel]
+            if self._dead(nic.inject_channel, t):
+                self._active_nics.discard(p)
+                continue
+            if nic.streaming is None and nic.queue:
+                eligible = [pkt for pkt in nic.queue if pkt.inject_cycle <= t]
+                if eligible:
+                    pkt = min(eligible, key=lambda q: (q.inject_cycle, q.packet_id))
+                    vc = channel.free_vc()
+                    if vc is not None:
+                        channel.owner[vc] = pkt.packet_id
+                        nic.streaming = (pkt, vc)
+                        nic.dequeue(pkt)
+                else:
+                    heapq.heappush(wake, (nic.next_inject_after(t), p))
+                    self._active_nics.discard(p)
+                    continue
+            if nic.streaming is not None:
+                pkt, vc = nic.streaming
+                if channel.credits[vc] > 0:
+                    flit = Flit(pkt, pkt.flits_sent)
+                    channel.credits[vc] -= 1
+                    pkt.flits_sent += 1
+                    self._push(t + channel.delay, _FLIT, (nic.inject_channel, vc, flit))
+                    self._channel_busy_cycles[nic.inject_channel] = (
+                        self._channel_busy_cycles.get(nic.inject_channel, 0) + 1
+                    )
+                    self.flits_in_network += 1
+                    if self._obs_on:
+                        self._c_flits_injected.inc()
+                    moved = True
+                    if flit.is_tail:
+                        nic.streaming = None
+                        channel.owner[vc] = None
+                elif self._obs_on:
+                    self._c_credit_stalls.inc()
+                else:
+                    self._active_nics.discard(p)
+            elif not nic.queue:
+                self._active_nics.discard(p)
+        return moved
+
+    # -- regressive recovery ---------------------------------------------
+
+    def _recover_deadlock(self, t: int) -> None:
+        stuck = [
+            pkt
+            for pkt in self._packets.values()
+            if not pkt.killed and not pkt.delivered and self._has_presence(pkt)
+        ]
+        if not stuck:
+            raise SimulationError(
+                f"deadlock detected at cycle {t} but no packet is in flight"
+            )
+        victim = max(stuck, key=lambda pkt: (pkt.inject_cycle, pkt.packet_id))
+        self.deadlocks_detected += 1
+        if self._obs_on:
+            self._c_deadlocks.inc()
+            self.obs.tracer.event(
+                "sim.deadlock",
+                cycle=t,
+                packet=victim.packet_id,
+                source=victim.source,
+                dest=victim.dest,
+            )
+        self._kill_packet(victim)
+        self._retransmit(victim, t)
+        self.last_progress = t
+
+    def _fault_kill(self, packet: Packet, t: int) -> None:
+        if packet.killed or packet.delivered:
+            return
+        self.fault_packet_kills += 1
+        if self._obs_on:
+            self._c_fault_kills.inc()
+            self.obs.tracer.event(
+                "sim.fault_kill",
+                cycle=t,
+                packet=packet.packet_id,
+                source=packet.source,
+                dest=packet.dest,
+            )
+        self._kill_packet(packet)
+        self._retransmit(packet, t)
+
+    def _kill_packet(self, victim: Packet) -> None:
+        victim.killed = True
+        for ivc in self._vc_assignments.pop(victim.packet_id, {}).values():
+            assignment = ivc.assignment
+            if assignment is None or assignment[0] != victim.packet_id:
+                continue
+            _, out_cid, out_vc = assignment
+            self.channels[out_cid].owner[out_vc] = None
+            ivc.assignment = None
+        nic = self.nics[victim.source]
+        held_vc = nic.abort_stream(victim.packet_id)
+        if held_vc is not None:
+            self.channels[nic.inject_channel].owner[held_vc] = None
+        self._active_routers.update(self.routers)
+        self._activate_nic(victim.source)
+
+    def _retransmit(self, victim: Packet, t: int) -> None:
+        replacement = Packet(
+            packet_id=self._next_packet_id,
+            source=victim.source,
+            dest=victim.dest,
+            size_bytes=victim.size_bytes,
+            num_flits=victim.num_flits,
+            seq=victim.seq,
+            inject_cycle=t + self.config.retransmit_backoff,
+        )
+        self._next_packet_id += 1
+        self.routing.prepare(replacement, self.network)
+        self._packets[replacement.packet_id] = replacement
+        self.nics[victim.source].enqueue(replacement)
+        heapq.heappush(self._nic_wake, (replacement.inject_cycle, victim.source))
+        self.retransmissions += 1
+        if self._obs_on:
+            self._c_retransmissions.inc()
+            self.obs.tracer.event(
+                "sim.retransmit",
+                cycle=t,
+                packet=victim.packet_id,
+                replacement=replacement.packet_id,
+                inject_cycle=replacement.inject_cycle,
+            )
+
+    def _has_presence(self, pkt: Packet) -> bool:
+        return pkt.flits_sent > 0
+
+    # -- stats -----------------------------------------------------------
+
+    def link_utilization(
+        self, total_cycles: Optional[int] = None
+    ) -> Dict[ChannelId, float]:
+        if total_cycles is None:
+            total_cycles = self.cycles_simulated
+        if total_cycles <= 0:
+            return {}
+        return {
+            cid: busy / total_cycles
+            for cid, busy in sorted(self._channel_busy_cycles.items())
+        }
+
+
+class LegacyProcessReplay:
+    """The pre-rewrite process replay: full sweep per ``run_ready``."""
+
+    def __init__(self, program: Program, engine: LegacyEngine, config: SimConfig) -> None:
+        from repro.simulator.process import _ProcessState
+
+        if program.num_processes != engine.network.num_processors:
+            raise SimulationError(
+                f"program has {program.num_processes} processes but the network "
+                f"has {engine.network.num_processors} processors"
+            )
+        self.program = program
+        self.engine = engine
+        self.config = config
+        self.states = [_ProcessState() for _ in range(program.num_processes)]
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+        self._recv_seq: Dict[Tuple[int, int], int] = {}
+        self._deliveries: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._blocked_index: Dict[Tuple[int, int, int], int] = {}
+        engine.set_delivery_handler(self._on_delivery)
+
+    def _on_delivery(self, src: int, dst: int, seq: int, cycle: int) -> None:
+        self._deliveries.setdefault((src, dst), {})[seq] = cycle
+        proc = self._blocked_index.pop((src, dst, seq), None)
+        if proc is not None:
+            state = self.states[proc]
+            resume = max(state.wait_start, cycle)
+            waited = resume - state.wait_start
+            state.wait_cycles += waited
+            state.comm_cycles += waited + self.config.recv_overhead
+            state.recv_overhead_cycles += self.config.recv_overhead
+            state.ready_at = resume + self.config.recv_overhead
+            state.blocked_on = None
+
+    def run_ready(self) -> None:
+        for proc in range(self.program.num_processes):
+            self._run_process(proc)
+
+    def _run_process(self, proc: int) -> None:
+        state = self.states[proc]
+        if state.done or state.blocked_on is not None:
+            return
+        events = self.program.events[proc]
+        while state.index < len(events):
+            event = events[state.index]
+            if isinstance(event, ComputeEvent):
+                state.ready_at += event.cycles
+                state.index += 1
+            elif isinstance(event, SendEvent):
+                state.ready_at += self.config.send_overhead
+                state.comm_cycles += self.config.send_overhead
+                state.send_overhead_cycles += self.config.send_overhead
+                key = (proc, event.dest)
+                seq = self._send_seq.get(key, 0)
+                self._send_seq[key] = seq + 1
+                self.engine.submit(
+                    source=proc,
+                    dest=event.dest,
+                    size_bytes=event.size_bytes,
+                    inject_cycle=state.ready_at,
+                    seq=seq,
+                )
+                state.index += 1
+            elif isinstance(event, RecvEvent):
+                key = (event.source, proc)
+                seq = self._recv_seq.get(key, 0)
+                delivered = self._deliveries.get(key, {})
+                if seq in delivered:
+                    self._recv_seq[key] = seq + 1
+                    cycle = delivered[seq]
+                    waited = max(0, cycle - state.ready_at)
+                    state.wait_cycles += waited
+                    state.comm_cycles += waited + self.config.recv_overhead
+                    state.recv_overhead_cycles += self.config.recv_overhead
+                    state.ready_at = max(state.ready_at, cycle) + self.config.recv_overhead
+                    state.index += 1
+                else:
+                    self._recv_seq[key] = seq + 1
+                    state.blocked_on = (event.source, seq)
+                    state.wait_start = state.ready_at
+                    self._blocked_index[(event.source, proc, seq)] = proc
+                    state.index += 1
+                    return
+            else:  # pragma: no cover - event union is closed
+                raise SimulationError(f"unknown event type {event!r}")
+        state.done = True
+
+    def all_done(self) -> bool:
+        return all(s.done and s.blocked_on is None for s in self.states)
+
+    def anyone_blocked(self) -> bool:
+        return any(s.blocked_on is not None for s in self.states)
+
+    def blocked_summary(self) -> str:
+        lines = []
+        for proc, s in enumerate(self.states):
+            if s.blocked_on is not None:
+                src, seq = s.blocked_on
+                lines.append(f"process {proc} waits for message #{seq} from {src}")
+        return "; ".join(lines)
+
+    def execution_cycles(self) -> int:
+        return max(s.ready_at for s in self.states)
+
+    def communication_cycles(self) -> List[int]:
+        return [s.comm_cycles for s in self.states]
+
+
+def legacy_simulate(
+    program: Program,
+    topology: Topology,
+    config: Optional[SimConfig] = None,
+    link_delays: Optional[Dict[int, int]] = None,
+    routing: Optional[SimRouting] = None,
+    fault_state: Optional["FaultState"] = None,
+    obs: Optional[Observability] = None,
+) -> SimulationResult:
+    """The pre-rewrite ``simulate`` driving the vendored engine."""
+    from repro.simulator.simulation import routing_policy_for
+
+    config = config or SimConfig()
+    engine = LegacyEngine(
+        topology,
+        routing or routing_policy_for(topology),
+        config,
+        link_delays=link_delays,
+        fault_state=fault_state,
+        obs=obs,
+    )
+    replay = LegacyProcessReplay(program, engine, config)
+    tracer = engine.obs.tracer
+
+    with tracer.span(
+        "simulate.run", program=program.name, topology=topology.name
+    ):
+        t = 0
+        replay.run_ready()
+        while not replay.all_done() or engine.busy():
+            if t > config.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {config.max_cycles} cycles "
+                    f"({program.name} on {topology.name}); likely livelock"
+                )
+            moved = engine.step(t)
+            if moved:
+                replay.run_ready()
+            if not moved:
+                t = _legacy_advance(engine, replay, t)
+            else:
+                t += 1
+
+    if engine.obs.enabled:
+        m = engine.obs.metrics
+        m.gauge("sim.execution_cycles").set(replay.execution_cycles())
+        m.gauge("sim.cycles_simulated").set(engine.cycles_simulated)
+    return SimulationResult(
+        topology_name=topology.name,
+        program_name=program.name,
+        execution_cycles=replay.execution_cycles(),
+        comm_cycles_per_process=tuple(replay.communication_cycles()),
+        delivered_packets=engine.delivered_packets,
+        deadlocks_detected=engine.deadlocks_detected,
+        retransmissions=engine.retransmissions,
+        fault_packet_kills=engine.fault_packet_kills,
+        flit_hops=engine.flit_hops,
+        link_utilization=engine.link_utilization(),
+        config=config,
+        packet_latencies=tuple(engine.packet_latencies),
+    )
+
+
+def _legacy_advance(engine: LegacyEngine, replay: LegacyProcessReplay, t: int) -> int:
+    candidates = []
+    heap_next = engine.next_heap_time()
+    if heap_next is not None:
+        candidates.append(heap_next)
+    inject_next = engine.next_inject_time(t)
+    if inject_next is not None:
+        candidates.append(inject_next)
+    fault_next = engine.next_fault_transition(t)
+    if fault_next is not None and (engine.busy() or replay.anyone_blocked()):
+        candidates.append(fault_next)
+        if engine.flits_in_network > 0:
+            candidates.append(
+                max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+            )
+    if candidates:
+        return max(t + 1, min(candidates))
+    if engine.flits_in_network > 0:
+        return max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+    if replay.anyone_blocked():
+        raise SimulationError(
+            "simulation stuck with an idle network: " + replay.blocked_summary()
+        )
+    return t + 1
+
+
+def legacy_replay_pattern(
+    topology: Topology,
+    pattern,
+    config: Optional[SimConfig] = None,
+    link_delays: Optional[Dict[int, int]] = None,
+    routing: Optional[SimRouting] = None,
+):
+    """The pre-rewrite ``repro.verify.dynamic.replay_pattern``.
+
+    Reuses the (unchanged) scale derivation from the real module so the
+    only difference under test is the engine core.
+    """
+    from repro.simulator.simulation import routing_policy_for
+    from repro.verify.dynamic import ReplayReport, _max_route_hops, injection_scale
+
+    config = config or SimConfig()
+    engine = LegacyEngine(
+        topology,
+        routing or routing_policy_for(topology),
+        config,
+        link_delays=link_delays,
+    )
+    max_hops = _max_route_hops(topology, pattern)
+    max_delay = max(link_delays.values()) if link_delays else 1
+    scale = injection_scale(pattern, config, max_hops, max_delay)
+    ordered = sorted(
+        pattern.messages, key=lambda m: (m.t_start, m.t_finish, m.source, m.dest)
+    )
+    for seq, message in enumerate(ordered):
+        engine.submit(
+            source=message.source,
+            dest=message.dest,
+            size_bytes=message.size_bytes,
+            inject_cycle=int(round(message.t_start * scale)),
+            seq=seq,
+        )
+    cycles = _legacy_drain(engine, config)
+    return ReplayReport(
+        topology_name=topology.name,
+        pattern_name=pattern.name,
+        scale=scale,
+        messages=len(ordered),
+        delivered_packets=engine.delivered_packets,
+        contention_stalls=engine.contention_stalls,
+        deadlocks_detected=engine.deadlocks_detected,
+        retransmissions=engine.retransmissions,
+        cycles=cycles,
+    )
+
+
+def _legacy_drain(engine: LegacyEngine, config: SimConfig) -> int:
+    t = 0
+    while engine.busy():
+        if t > config.max_cycles:
+            raise SimulationError(
+                f"pattern replay exceeded {config.max_cycles} cycles; "
+                "likely livelock"
+            )
+        if engine.step(t):
+            t += 1
+            continue
+        candidates = []
+        heap_next = engine.next_heap_time()
+        if heap_next is not None:
+            candidates.append(heap_next)
+        inject_next = engine.next_inject_time(t)
+        if inject_next is not None:
+            candidates.append(inject_next)
+        if candidates:
+            t = max(t + 1, min(candidates))
+        elif engine.flits_in_network > 0:
+            t = max(t + 1, engine.last_progress + config.deadlock_threshold)
+        else:
+            t += 1
+    return engine.cycles_simulated
+
+
+def legacy_run_open_loop(
+    topology: Topology,
+    injection_rate: float,
+    pattern=None,
+    packet_bytes: int = 32,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    drain_cycles: int = 2000,
+    config: Optional[SimConfig] = None,
+    link_delays: Optional[Dict[int, int]] = None,
+    routing: Optional[SimRouting] = None,
+    seed: int = 0,
+    fault_state: Optional["FaultState"] = None,
+    obs: Optional[Observability] = None,
+):
+    """The pre-rewrite per-cycle open-loop injection loop."""
+    from repro.simulator.openloop import _RESAMPLE_BOUND, LoadPoint, uniform_random
+    from repro.simulator.simulation import routing_policy_for
+
+    if pattern is None:
+        pattern = uniform_random
+    if injection_rate <= 0:
+        raise SimulationError(f"injection rate must be positive, got {injection_rate}")
+    config = config or SimConfig()
+    engine = LegacyEngine(
+        topology,
+        routing or routing_policy_for(topology),
+        config,
+        link_delays,
+        fault_state=fault_state,
+        obs=obs,
+    )
+    rng = random.Random(seed)
+    n = topology.network.num_processors
+    flits_per_packet = config.flits_for(packet_bytes)
+
+    inject_times: Dict[tuple, int] = {}
+    latencies: List[int] = []
+    delivered_in_window = 0
+
+    def on_delivery(src: int, dst: int, seq_: int, cycle: int) -> None:
+        nonlocal delivered_in_window
+        t0 = inject_times.pop((src, dst, seq_), None)
+        if t0 is not None and t0 >= warmup_cycles:
+            latencies.append(cycle - t0)
+            delivered_in_window += 1
+
+    engine.set_delivery_handler(on_delivery)
+    seqs: Dict[tuple, int] = {}
+    debt = [0.0] * n
+    horizon = warmup_cycles + measure_cycles
+
+    for t in range(horizon):
+        for node in range(n):
+            debt[node] += injection_rate
+            if debt[node] >= flits_per_packet:
+                dest = pattern(node, n, rng)
+                for _ in range(_RESAMPLE_BOUND):
+                    if dest != node:
+                        break
+                    dest = pattern(node, n, rng)
+                if dest == node:
+                    continue
+                debt[node] -= flits_per_packet
+                key = (node, dest)
+                seq = seqs.get(key, 0)
+                seqs[key] = seq + 1
+                engine.submit(
+                    source=node,
+                    dest=dest,
+                    size_bytes=packet_bytes,
+                    inject_cycle=t,
+                    seq=seq,
+                )
+                inject_times[(node, dest, seq)] = t
+        engine.step(t)
+
+    t = horizon
+    while engine.busy() and t < horizon + drain_cycles:
+        engine.step(t)
+        t += 1
+    saturated = engine.busy()
+
+    payload_flits = flits_per_packet - 1
+    accepted = delivered_in_window * payload_flits / (measure_cycles * n)
+    return LoadPoint(
+        offered_flits_per_node_cycle=injection_rate,
+        accepted_flits_per_node_cycle=accepted,
+        avg_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        delivered=delivered_in_window,
+        saturated=saturated,
+    )

@@ -97,6 +97,20 @@ def run_open_loop(
     (deterministic, seeded destination choice).  Patterns that return
     the source are resampled (bounded), per the module contract, so the
     offered load is not silently lost on self-destined draws.
+
+    Every node's flit debt replays the identical float-op sequence
+    (same start, same rate, same packet size), so the per-node
+    per-cycle debt loop collapses into one shared crossing schedule
+    computed up front by exact scalar replay, and the driver jumps
+    across idle gaps between crossings/events the same way the
+    trace-driven loop does.  The one thing that can desynchronize the
+    nodes is a *degenerate* draw — a pattern exhausting the resample
+    bound keeps that node's debt — at which point the driver falls back
+    to the exact per-cycle loop with every node's debt reconstructed
+    bit-for-bit.  ``LoadPoint`` results are byte-identical to the
+    always-step implementation either way (observability sampling, which
+    follows visited cycles, is the only thing that can tell the
+    difference).
     """
     if injection_rate <= 0:
         raise SimulationError(f"injection rate must be positive, got {injection_rate}")
@@ -126,43 +140,132 @@ def run_open_loop(
 
     engine.set_delivery_handler(on_delivery)
     seqs: Dict[tuple, int] = {}
-    debt = [0.0] * n
     horizon = warmup_cycles + measure_cycles
 
-    for t in range(horizon):
-        for node in range(n):
-            debt[node] += injection_rate
-            if debt[node] >= flits_per_packet:
-                dest = pattern(node, n, rng)
-                for _ in range(_RESAMPLE_BOUND):
-                    if dest != node:
-                        break
-                    dest = pattern(node, n, rng)
+    # Shared debt-crossing schedule: the exact scalar replay of one
+    # node's debt.  ``debt_before``/``debt_after`` snapshot the running
+    # value around the crossing cycle's increment so the degenerate
+    # fallback can reconstruct every node's float state bit-for-bit
+    # (re-deriving them arithmetically would not round identically).
+    crossings: List[tuple] = []  # (cycle, debt_before, debt_after)
+    d = 0.0
+    for ct in range(horizon):
+        before = d
+        d = before + injection_rate
+        if d >= flits_per_packet:
+            crossings.append((ct, before, d))
+            d -= flits_per_packet
+
+    def draw(node: int) -> int:
+        dest = pattern(node, n, rng)
+        for _ in range(_RESAMPLE_BOUND):
+            if dest != node:
+                break
+            dest = pattern(node, n, rng)
+        return dest
+
+    def submit(node: int, dest: int, cycle: int) -> None:
+        key = (node, dest)
+        seq = seqs.get(key, 0)
+        seqs[key] = seq + 1
+        engine.submit(
+            source=node,
+            dest=dest,
+            size_bytes=packet_bytes,
+            inject_cycle=cycle,
+            seq=seq,
+        )
+        inject_times[(node, dest, seq)] = cycle
+
+    def run_exact(t_start: int, node_start: int, debt: List[float]) -> None:
+        """Per-cycle injection loop from ``(t_start, node_start)`` to the
+        horizon — the degenerate-pattern path, where nodes no longer
+        share one debt value."""
+        node_from = node_start
+        for tx in range(t_start, horizon):
+            for node in range(node_from, n):
+                debt[node] += injection_rate
+                if debt[node] >= flits_per_packet:
+                    dest = draw(node)
+                    if dest == node:
+                        # Degenerate draw: keep the flit debt so the
+                        # offered load is carried forward, not silently
+                        # dropped.
+                        continue
+                    debt[node] -= flits_per_packet
+                    submit(node, dest, tx)
+            node_from = 0
+            engine.step(tx)
+
+    t = 0
+    ci = 0  # next crossing index
+    while t < horizon:
+        if ci < len(crossings) and t == crossings[ci][0]:
+            _, before, after = crossings[ci]
+            ci += 1
+            degenerate = None
+            for node in range(n):
+                dest = draw(node)
                 if dest == node:
-                    # Degenerate pattern (only ever returns the source):
-                    # keep the flit debt so the offered load is carried
-                    # forward, not silently dropped.
-                    continue
-                debt[node] -= flits_per_packet
-                key = (node, dest)
-                seq = seqs.get(key, 0)
-                seqs[key] = seq + 1
-                engine.submit(
-                    source=node,
-                    dest=dest,
-                    size_bytes=packet_bytes,
-                    inject_cycle=t,
-                    seq=seq,
+                    degenerate = node
+                    break
+                submit(node, dest, t)
+            if degenerate is not None:
+                # Nodes before the degenerate one injected (debt paid),
+                # the degenerate node keeps its incremented debt, and
+                # later nodes have not seen this cycle's increment yet.
+                k = degenerate
+                debt = (
+                    [after - flits_per_packet] * k
+                    + [after]
+                    + [before] * (n - k - 1)
                 )
-                inject_times[(node, dest, seq)] = t
-        engine.step(t)
+                run_exact(t, k + 1, debt)
+                break
+        if engine.step(t):
+            t += 1
+            continue
+        # Nothing moved: jump to the next cycle anything can happen —
+        # a scheduled event, the next injection round, a fault
+        # transition that may unblock stalled traffic, or the deadlock
+        # detection horizon for flits stalled in buffers.
+        candidates = []
+        event_next = engine.next_event_time()
+        if event_next is not None:
+            candidates.append(event_next)
+        if ci < len(crossings):
+            candidates.append(crossings[ci][0])
+        fault_next = engine.next_fault_transition(t)
+        if fault_next is not None and engine.busy():
+            candidates.append(fault_next)
+        if engine.flits_in_network > 0:
+            candidates.append(
+                max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+            )
+        if not candidates:
+            break  # empty network, no injections left before the horizon
+        t = max(t + 1, min(candidates))
 
     # Drain without new injections, bounded: a saturated network never
     # fully drains its backlog in time.
-    t = horizon
-    while engine.busy() and t < horizon + drain_cycles:
-        engine.step(t)
-        t += 1
+    t = max(t, horizon)
+    bound = horizon + drain_cycles
+    while engine.busy() and t < bound:
+        if engine.step(t):
+            t += 1
+            continue
+        candidates = []
+        event_next = engine.next_event_time()
+        if event_next is not None:
+            candidates.append(event_next)
+        fault_next = engine.next_fault_transition(t)
+        if fault_next is not None:
+            candidates.append(fault_next)
+        if engine.flits_in_network > 0:
+            candidates.append(
+                max(t + 1, engine.last_progress + engine.config.deadlock_threshold)
+            )
+        t = max(t + 1, min(candidates)) if candidates else t + 1
     saturated = engine.busy()
 
     payload_flits = flits_per_packet - 1

@@ -7,7 +7,7 @@ flit (for one-flit payloads the last payload flit is the tail).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 ChannelId = Tuple  # ("inj", p) | ("ej", p) | ("link", link_id, direction)
@@ -54,20 +54,22 @@ class Packet:
         return self.flits_sent >= self.num_flits
 
 
-@dataclass(frozen=True)
 class Flit:
-    """One flit of a packet."""
+    """One flit of a packet.
 
-    packet: Packet
-    index: int
+    A plain slotted class, not a dataclass: flits are the simulator's
+    highest-volume allocation, and the head/tail flags are precomputed
+    at construction because the router and engine hot loops test them
+    on every flit they touch.
+    """
 
-    @property
-    def is_head(self) -> bool:
-        return self.index == 0
+    __slots__ = ("packet", "index", "is_head", "is_tail")
 
-    @property
-    def is_tail(self) -> bool:
-        return self.index == self.packet.num_flits - 1
+    def __init__(self, packet: Packet, index: int) -> None:
+        self.packet = packet
+        self.index = index
+        self.is_head = index == 0
+        self.is_tail = index == packet.num_flits - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

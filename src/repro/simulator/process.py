@@ -52,6 +52,13 @@ class ProcessReplay:
         self._recv_seq: Dict[Tuple[int, int], int] = {}
         self._deliveries: Dict[Tuple[int, int], Dict[int, int]] = {}
         self._blocked_index: Dict[Tuple[int, int, int], int] = {}  # (src, dst, seq) -> proc
+        # Incremental scheduling: only processes that became runnable
+        # since the last run_ready (initially: everyone) are swept, and
+        # done/blocked bookkeeping is kept in counters so the per-step
+        # status queries are O(1) instead of O(processes).
+        self._runnable: List[int] = list(range(program.num_processes))
+        self._unfinished = program.num_processes
+        self._blocked_count = 0
         engine.set_delivery_handler(self._on_delivery)
 
     # -- delivery callback ------------------------------------------------
@@ -68,17 +75,31 @@ class ProcessReplay:
             state.recv_overhead_cycles += self.config.recv_overhead
             state.ready_at = resume + self.config.recv_overhead
             state.blocked_on = None
+            self._blocked_count -= 1
+            self._runnable.append(proc)
 
     # -- execution ----------------------------------------------------------
 
     def run_ready(self) -> None:
-        """Advance every unblocked process until it blocks or finishes.
+        """Advance every newly runnable process until it blocks or
+        finishes.
 
         Processes can run ahead of network time: sends are stamped with
         their future inject cycles and receives consult recorded
         delivery times, so per-process virtual time stays correct.
+
+        Only processes unblocked since the last call (tracked by the
+        delivery callback) are swept, in ascending id — the same
+        relative order as a full 0..n-1 sweep, and running a process
+        cannot unblock another within the same call (deliveries only
+        happen inside ``engine.step``), so packet submission order and
+        therefore packet-id assignment are unchanged.
         """
-        for proc in range(self.program.num_processes):
+        if not self._runnable:
+            return
+        batch = sorted(self._runnable)
+        self._runnable = []
+        for proc in batch:
             self._run_process(proc)
 
     def _run_process(self, proc: int) -> None:
@@ -125,18 +146,25 @@ class ProcessReplay:
                     state.wait_start = state.ready_at
                     self._blocked_index[(event.source, proc, seq)] = proc
                     state.index += 1
+                    self._blocked_count += 1
                     return
             else:  # pragma: no cover - event union is closed
                 raise SimulationError(f"unknown event type {event!r}")
         state.done = True
+        self._unfinished -= 1
 
     # -- status -----------------------------------------------------------
 
     def all_done(self) -> bool:
-        return all(s.done and s.blocked_on is None for s in self.states)
+        # A process counts as unfinished until _run_process marks it
+        # done — including the window where its last blocking receive
+        # has been satisfied but the process has not been re-run yet —
+        # which is exactly what the full `done and not blocked` scan
+        # over every state answered.
+        return self._unfinished == 0
 
     def anyone_blocked(self) -> bool:
-        return any(s.blocked_on is not None for s in self.states)
+        return self._blocked_count > 0
 
     def blocked_summary(self) -> str:
         lines = []

@@ -124,19 +124,18 @@ def simulate(
 def _advance(engine: Engine, replay: ProcessReplay, t: int) -> int:
     """Pick the next cycle when nothing moved at ``t``.
 
-    Jump to the earliest future event (flit/credit arrival or packet
-    inject time).  If no event is pending but flits sit stalled in the
+    Jump to the earliest future event (flit/credit arrival or NIC
+    wake-up).  If no event is pending but flits sit stalled in the
     network, jump straight to the deadlock-detection horizon.  If the
     engine is completely empty yet processes still block, the program
     has unmatched receives — a workload bug worth a precise error.
     """
     candidates = []
-    heap_next = engine.next_heap_time()
-    if heap_next is not None:
-        candidates.append(heap_next)
-    inject_next = engine.next_inject_time(t)
-    if inject_next is not None:
-        candidates.append(inject_next)
+    # One peek covers flit/credit arrivals and queued inject times:
+    # NIC wake-ups ride the same event queue.
+    event_next = engine.next_event_time()
+    if event_next is not None:
+        candidates.append(event_next)
     fault_next = engine.next_fault_transition(t)
     if fault_next is not None and (engine.busy() or replay.anyone_blocked()):
         # A fault activating/recovering can unblock stalled traffic

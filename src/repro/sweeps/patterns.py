@@ -57,6 +57,35 @@ DestinationPattern = Callable[[int, int, random.Random], int]
 # (pattern name, n) pairs that already warned about a fallback.
 _WARNED: Set[Tuple[str, int]] = set()
 
+# requirement key -> human description of the node-count constraint.
+_REQUIREMENT_TEXT = {
+    "square": "a square node count",
+    "pow2": "a power-of-two node count",
+}
+
+
+def _nearest_valid_sizes(requirement: str, n: int) -> Tuple[int, int]:
+    """The valid node counts bracketing ``n`` for a size requirement."""
+    if requirement == "square":
+        side = int(n ** 0.5)
+        below = max(1, side) ** 2
+        above = (side + 1) ** 2
+    elif requirement == "pow2":
+        below = 1 << max(0, n.bit_length() - 1)
+        above = 1 << n.bit_length()
+    else:  # pragma: no cover - requirement keys are closed
+        raise SimulationError(f"unknown size requirement {requirement!r}")
+    return (below, above)
+
+
+def _size_violation(name: str, requirement: str, n: int) -> str:
+    """'pattern spec X requires ... got n=..., nearest valid sizes ...'."""
+    below, above = _nearest_valid_sizes(requirement, n)
+    return (
+        f"pattern spec {name!r} requires {_REQUIREMENT_TEXT[requirement]} "
+        f"but got n={n} (nearest valid sizes: {below} and {above})"
+    )
+
 
 def _fallback(name: str, requirement: str, n: int) -> None:
     """Warn once per (pattern, n) that the pattern degrades to uniform."""
@@ -64,7 +93,7 @@ def _fallback(name: str, requirement: str, n: int) -> None:
         return
     _WARNED.add((name, n))
     warnings.warn(
-        f"pattern {name!r} requires {requirement} but got n={n}; "
+        f"{_size_violation(name, requirement, n)}; "
         f"falling back to uniform random (resolve with strict=True to "
         f"raise instead)",
         RuntimeWarning,
@@ -89,17 +118,13 @@ def is_power_of_two(n: int) -> bool:
 def require_square(name: str, n: int) -> None:
     """Raise :class:`SimulationError` unless ``n`` is a perfect square."""
     if not is_square(n):
-        raise SimulationError(
-            f"pattern {name!r} requires a square node count, got n={n}"
-        )
+        raise SimulationError(_size_violation(name, "square", n))
 
 
 def require_power_of_two(name: str, n: int) -> None:
     """Raise :class:`SimulationError` unless ``n`` is a power of two."""
     if not is_power_of_two(n):
-        raise SimulationError(
-            f"pattern {name!r} requires a power-of-two node count, got n={n}"
-        )
+        raise SimulationError(_size_violation(name, "pow2", n))
 
 
 # ---------------------------------------------------------------------------
@@ -138,7 +163,7 @@ def transpose_pattern(src: int, n: int, rng: random.Random) -> int:
     """
     side = int(n ** 0.5)
     if side * side != n:
-        _fallback("transpose", "a square node count", n)
+        _fallback("transpose", "square", n)
         return uniform_random(src, n, rng)
     dest = (src % side) * side + src // side
     if dest == src:
@@ -149,7 +174,7 @@ def transpose_pattern(src: int, n: int, rng: random.Random) -> int:
 def bit_complement_pattern(src: int, n: int, rng: random.Random) -> int:
     """Bitwise complement within ``log2(n)`` bits."""
     if not is_power_of_two(n):
-        _fallback("bit_complement", "a power-of-two node count", n)
+        _fallback("bit_complement", "pow2", n)
         return uniform_random(src, n, rng)
     dest = src ^ (n - 1)
     if dest == src:  # n == 1 only
@@ -160,7 +185,7 @@ def bit_complement_pattern(src: int, n: int, rng: random.Random) -> int:
 def bit_reverse_pattern(src: int, n: int, rng: random.Random) -> int:
     """Reverse the ``log2(n)``-bit address (palindromes draw uniformly)."""
     if not is_power_of_two(n):
-        _fallback("bit_reverse", "a power-of-two node count", n)
+        _fallback("bit_reverse", "pow2", n)
         return uniform_random(src, n, rng)
     bits = n.bit_length() - 1
     dest = 0
@@ -175,7 +200,7 @@ def bit_reverse_pattern(src: int, n: int, rng: random.Random) -> int:
 def bit_rotation_pattern(src: int, n: int, rng: random.Random) -> int:
     """Rotate the address right by one bit (unshuffle)."""
     if not is_power_of_two(n):
-        _fallback("bit_rotation", "a power-of-two node count", n)
+        _fallback("bit_rotation", "pow2", n)
         return uniform_random(src, n, rng)
     bits = n.bit_length() - 1
     if bits == 0:
@@ -189,7 +214,7 @@ def bit_rotation_pattern(src: int, n: int, rng: random.Random) -> int:
 def shuffle_pattern(src: int, n: int, rng: random.Random) -> int:
     """Perfect shuffle: rotate the address left by one bit."""
     if not is_power_of_two(n):
-        _fallback("shuffle", "a power-of-two node count", n)
+        _fallback("shuffle", "pow2", n)
         return uniform_random(src, n, rng)
     bits = n.bit_length() - 1
     if bits == 0:

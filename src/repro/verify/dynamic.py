@@ -217,15 +217,9 @@ def _drain(engine: Engine, config: SimConfig) -> int:
         if engine.step(t):
             t += 1
             continue
-        candidates = []
-        heap_next = engine.next_heap_time()
-        if heap_next is not None:
-            candidates.append(heap_next)
-        inject_next = engine.next_inject_time(t)
-        if inject_next is not None:
-            candidates.append(inject_next)
-        if candidates:
-            t = max(t + 1, min(candidates))
+        event_next = engine.next_event_time()
+        if event_next is not None:
+            t = max(t + 1, event_next)
         elif engine.flits_in_network > 0:
             t = max(t + 1, engine.last_progress + config.deadlock_threshold)
         else:

@@ -137,6 +137,24 @@ class TestSizeRequirements:
             resolve_pattern(spec, n=12, strict=True)
 
     @pytest.mark.parametrize(
+        "spec", ["transpose", "bit_complement", "bit_reverse", "bit_rotation", "shuffle"]
+    )
+    def test_strict_resolve_names_the_violating_pattern(self, spec):
+        with pytest.raises(SimulationError, match=f"pattern spec '{spec}'"):
+            resolve_pattern(spec, n=12, strict=True)
+
+    @pytest.mark.parametrize(
+        "spec,n,sizes",
+        [("transpose", 12, "9 and 16"), ("shuffle", 12, "8 and 16")],
+    )
+    def test_strict_error_reports_nearest_valid_sizes(self, spec, n, sizes):
+        with pytest.raises(SimulationError) as excinfo:
+            resolve_pattern(spec, n=n, strict=True)
+        message = str(excinfo.value)
+        assert f"n={n}" in message
+        assert f"nearest valid sizes: {sizes}" in message
+
+    @pytest.mark.parametrize(
         "spec,good_n", [("transpose", 16), ("bit_reverse", 16), ("shuffle", 8)]
     )
     def test_strict_resolve_accepts_good_size(self, spec, good_n):
@@ -164,6 +182,23 @@ class TestSizeRequirements:
         # A different n warns again.
         with pytest.warns(RuntimeWarning, match=name):
             fn(0, 6, rng)
+
+    @pytest.mark.parametrize(
+        "fn,name,sizes",
+        [
+            (transpose_pattern, "transpose", "9 and 16"),
+            (bit_reverse_pattern, "bit_reverse", "8 and 16"),
+        ],
+    )
+    def test_fallback_warning_reports_spec_and_required_sizes(self, fn, name, sizes):
+        rng = random.Random(0)
+        with pytest.warns(RuntimeWarning) as record:
+            fn(0, 12, rng)
+        message = str(record[0].message)
+        assert f"pattern spec '{name}'" in message
+        assert "n=12" in message
+        assert f"nearest valid sizes: {sizes}" in message
+        assert "falling back to uniform random" in message
 
 
 class TestStructuredPatterns:
