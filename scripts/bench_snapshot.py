@@ -4,7 +4,9 @@
 Measures the hot paths the repo pins — synthesis (cg-16 annealed
 partitioning), the flit-level simulator (trace replay plus the
 idle-heavy NIC-wake workload), and the saturation-sweep driver
-(tornado + uniform knee searches on the 4x4 mesh) — and writes
+(tornado + uniform knee searches on the 4x4 mesh, plus the batched
+suite fan-out against per-pair sweeps on the robustness smoke grid) —
+and writes
 ``BENCH_synthesis.json``, ``BENCH_simulator.json`` and
 ``BENCH_sweep.json``.
 
@@ -158,9 +160,109 @@ def _sweep_cases(repeats: int):
                 "saturation_rate": curve.saturation_rate,
                 "saturation_throughput": curve.saturation_throughput,
                 "delivered_total": sum(p.delivered for p in curve.points),
+                "p50_latency_sum": sum(p.p50_latency for p in curve.points),
+                "p95_latency_sum": sum(p.p95_latency for p in curve.points),
+                "p99_latency_max": max(p.p99_latency for p in curve.points),
             },
         }
+    cases["suite-fanout-smoke"] = _sweep_fanout_case()
     return cases
+
+
+def _sweep_fanout_case():
+    """Suite-level fan-out: the batched grid vs per-pair sweeps.
+
+    Times the nightly robustness ``--smoke`` grid (cg at 8 nodes, four
+    topologies, nine patterns) two ways with ``jobs=2``: through
+    :func:`run_sweep_suite`'s single batched ``run_cells`` call, and
+    through the pre-batching reference path — one :func:`run_sweep`
+    per (topology, pattern) pair — each cold and again against its own
+    warm cache.  ``fanout_speedup`` is the warm-cache re-run ratio:
+    per-pair sweeps pay one worker-pool spawn per pair even for pure
+    cache hits, the batch pays one in total, so this ratio holds on
+    any machine.  The cold ratio is also recorded; it grows with core
+    count (per-pair sweeps stall the pool on each pair's slowest cell)
+    and is ~1 on a single-core runner.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+
+    from repro.eval.parallel import ResultCache
+    from repro.sweeps import SweepResult, run_sweep, run_sweep_suite, study_topology
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from robustness_study import STUDY_PATTERNS, STUDY_TOPOLOGIES, _sweep_config
+
+    sweep = _sweep_config(smoke=True, seed=0)
+    rows = [
+        study_topology(kind, 8, benchmark="cg", seed=0)
+        for kind in STUDY_TOPOLOGIES
+    ]
+
+    tmp = tempfile.mkdtemp(prefix="bench-fanout-")
+    try:
+        pair_cache = ResultCache(Path(tmp) / "per-pair")
+        suite_cache = ResultCache(Path(tmp) / "batched")
+
+        def per_pair():
+            curves = []
+            for top_label, topology, link_delays in rows:
+                for pattern in STUDY_PATTERNS:
+                    curve = run_sweep(
+                        topology,
+                        pattern,
+                        sweep=sweep,
+                        link_delays=link_delays,
+                        jobs=2,
+                        cache=pair_cache,
+                        label=top_label,
+                    )
+                    curves.append((top_label, curve.pattern, curve))
+            return SweepResult(label="bench-fanout", curves=tuple(curves))
+
+        def batched():
+            return run_sweep_suite(
+                rows,
+                STUDY_PATTERNS,
+                sweep=sweep,
+                jobs=2,
+                cache=suite_cache,
+                label="bench-fanout",
+            )
+
+        walls = {}
+        t0 = time.perf_counter()
+        reference = per_pair()
+        walls["cold_per_pair"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        per_pair()
+        walls["warm_per_pair"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = batched()
+        walls["cold_batched"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched()
+        walls["warm_batched"] = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    text = result.to_json()
+    return {
+        "wall_s": round(walls["cold_batched"], 6),
+        "wall_per_pair_s": round(walls["cold_per_pair"], 6),
+        "wall_warm_s": round(walls["warm_batched"], 6),
+        "wall_warm_per_pair_s": round(walls["warm_per_pair"], 6),
+        "fanout_speedup": round(walls["warm_per_pair"] / walls["warm_batched"], 4),
+        "fanout_speedup_cold": round(
+            walls["cold_per_pair"] / walls["cold_batched"], 4
+        ),
+        "deterministic": {
+            "pairs": len(result.curves),
+            "byte_identical": reference.to_json() == text,
+            "result_sha256": hashlib.sha256(text.encode()).hexdigest(),
+        },
+    }
 
 
 def _snapshot(kind: str, cases: dict, calibration_s: float) -> dict:

@@ -10,15 +10,17 @@ transpose, bit permutations, hotspot, the routing-aware adversarial
 permutation), and the resulting saturation throughputs are printed as
 a degradation table relative to the mesh baseline.
 
-Full mode covers every NAS benchmark at both paper scales (small
-sizes per benchmark, large = 16 nodes); ``--smoke`` runs one benchmark
-at its small size with shortened sweep windows — the CI nightly gate.
+Full mode covers every NAS benchmark at 16 and 64 nodes (both valid
+for every benchmark: powers of two for CG/FFT/MG, perfect squares for
+BT/SP); ``--smoke`` runs one benchmark at its paper small size with
+shortened sweep windows — the fast CI gate.  The nightly lane runs
+full mode and uploads the ``--json`` artifact.
 
 Usage::
 
     PYTHONPATH=src python scripts/robustness_study.py --smoke --jobs 0
     PYTHONPATH=src python scripts/robustness_study.py --benchmarks cg,mg \
-        --sizes small --json study.json
+        --nodes 16 --json study.json
 """
 
 from __future__ import annotations
@@ -106,8 +108,9 @@ def main() -> int:
         help="comma-separated NAS benchmarks (default: all; smoke: cg)",
     )
     parser.add_argument(
-        "--sizes", default=None, choices=("small", "large", "both"),
-        help="paper scales to cover (default both; smoke: small)",
+        "--nodes", default=None, metavar="LIST",
+        help="comma-separated node counts (default 16,64; smoke: the "
+        "benchmark's paper small size)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -129,7 +132,17 @@ def main() -> int:
     unknown = [b for b in benchmarks if b not in BENCHMARK_NAMES]
     if unknown:
         parser.error(f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}")
-    sizes = args.sizes or ("small" if args.smoke else "both")
+    if args.nodes:
+        try:
+            node_counts = tuple(
+                int(n.strip()) for n in args.nodes.split(",") if n.strip()
+            )
+        except ValueError:
+            parser.error(f"--nodes must be a comma-separated int list, got {args.nodes!r}")
+        if not node_counts or any(n < 2 for n in node_counts):
+            parser.error(f"--nodes needs counts >= 2, got {args.nodes!r}")
+    else:
+        node_counts = None  # smoke: per-benchmark small size; full: 16,64
 
     cache = None
     if not args.no_cache:
@@ -139,11 +152,12 @@ def main() -> int:
     artifacts = []
     first = True
     for bench in benchmarks:
-        scales = []
-        if sizes in ("small", "both"):
-            scales.append(PAPER_SMALL_SIZES[bench])
-        if sizes in ("large", "both"):
-            scales.append(PAPER_LARGE_SIZE)
+        if node_counts is not None:
+            scales = node_counts
+        elif args.smoke:
+            scales = (PAPER_SMALL_SIZES[bench],)
+        else:
+            scales = (PAPER_LARGE_SIZE, 4 * PAPER_LARGE_SIZE)
         for nodes in scales:
             result = run_study(
                 bench,

@@ -66,7 +66,8 @@ from repro.workloads.events import Program, SendEvent
 # simulation or synthesis results without changing any input.
 # Schema 2: link utilization normalized over simulated cycles
 # (including the post-completion drain) instead of execution cycles.
-CACHE_SCHEMA = 2
+# Schema 3: open-loop payloads carry p50/p95/p99 latency percentiles.
+CACHE_SCHEMA = 3
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 

@@ -131,6 +131,9 @@ def loadpoint_to_dict(point: LoadPoint) -> dict:
         "avg_latency": point.avg_latency,
         "delivered": point.delivered,
         "saturated": point.saturated,
+        "p50_latency": point.p50_latency,
+        "p95_latency": point.p95_latency,
+        "p99_latency": point.p99_latency,
     }
 
 
@@ -142,6 +145,9 @@ def loadpoint_from_dict(raw: dict) -> LoadPoint:
         avg_latency=raw["avg_latency"],
         delivered=raw["delivered"],
         saturated=raw["saturated"],
+        p50_latency=raw["p50_latency"],
+        p95_latency=raw["p95_latency"],
+        p99_latency=raw["p99_latency"],
     )
 
 

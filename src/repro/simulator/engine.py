@@ -20,7 +20,8 @@ activation, so drivers can jump straight to
 semantics are unchanged (see ``docs/SIMULATOR.md`` for the event model
 and its determinism rules); the byte-identity differential harness in
 ``tests/simulator/test_event_queue_diff.py`` holds this engine to the
-vendored :mod:`~repro.simulator.legacy_engine` oracle.
+committed goldens under ``tests/simulator/golden/`` (frozen from the
+pre-event-queue engine).
 
 Fault injection: when a :class:`~repro.faults.state.FaultState` is
 supplied, every allocation and traversal decision consults it.  Flits

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import Observability
@@ -22,6 +22,7 @@ from repro.simulator.config import SimConfig
 from repro.simulator.engine import Engine
 from repro.simulator.routing import SimRouting
 from repro.simulator.simulation import routing_policy_for
+from repro.simulator.stats import nearest_rank_percentile
 
 # The synthetic pattern suite lives in repro.sweeps.patterns (one
 # extensible registry shared with the sweep driver); re-exported here
@@ -66,6 +67,10 @@ class LoadPoint:
         delivered: packets delivered in the window.
         saturated: the network could not absorb the offered load (its
             backlog kept growing).
+        p50_latency / p95_latency / p99_latency: nearest-rank latency
+            percentiles over the same delivered-packet multiset as
+            ``avg_latency`` (0 when nothing was delivered) — tail
+            behavior at the knee, which the mean hides.
     """
 
     offered_flits_per_node_cycle: float
@@ -73,6 +78,9 @@ class LoadPoint:
     avg_latency: float
     delivered: int
     saturated: bool
+    p50_latency: int = 0
+    p95_latency: int = 0
+    p99_latency: int = 0
 
 
 def run_open_loop(
@@ -127,7 +135,7 @@ def run_open_loop(
     n = topology.network.num_processors
     flits_per_packet = config.flits_for(packet_bytes)
 
-    inject_times: Dict[int, int] = {}
+    inject_times: Dict[Tuple[int, int, int], int] = {}
     latencies: List[int] = []
     delivered_in_window = 0
 
@@ -139,7 +147,7 @@ def run_open_loop(
             delivered_in_window += 1
 
     engine.set_delivery_handler(on_delivery)
-    seqs: Dict[tuple, int] = {}
+    seqs: Dict[Tuple[int, int], int] = {}
     horizon = warmup_cycles + measure_cycles
 
     # Shared debt-crossing schedule: the exact scalar replay of one
@@ -276,6 +284,9 @@ def run_open_loop(
         avg_latency=sum(latencies) / len(latencies) if latencies else 0.0,
         delivered=delivered_in_window,
         saturated=saturated,
+        p50_latency=nearest_rank_percentile(latencies, 50),
+        p95_latency=nearest_rank_percentile(latencies, 95),
+        p99_latency=nearest_rank_percentile(latencies, 99),
     )
 
 

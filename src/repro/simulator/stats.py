@@ -4,9 +4,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.simulator.config import SimConfig
+
+
+def nearest_rank_percentile(values: Sequence[int], p: float) -> int:
+    """Nearest-rank percentile of an integer multiset.
+
+    ``p`` is in [0, 100]; returns 0 on an empty multiset.  This is the
+    repo-wide percentile convention — :class:`SimulationResult` and the
+    sweep subsystem's :class:`~repro.simulator.openloop.LoadPoint` both
+    derive their p50/p95/p99 fields from it.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100 * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -81,13 +98,7 @@ class SimulationResult:
 
         ``p`` is in [0, 100]; returns 0 when nothing was delivered.
         """
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self.packet_latencies:
-            return 0
-        ordered = sorted(self.packet_latencies)
-        rank = max(1, math.ceil(p / 100 * len(ordered)))
-        return ordered[rank - 1]
+        return nearest_rank_percentile(self.packet_latencies, p)
 
     @property
     def p50_packet_latency(self) -> int:

@@ -48,6 +48,7 @@ _LAZY = {
     "STUDY_TOPOLOGIES": "repro.sweeps.driver",
     "SweepConfig": "repro.sweeps.driver",
     "detect_saturation": "repro.sweeps.driver",
+    "latency_reference": "repro.sweeps.driver",
     "point_is_saturated": "repro.sweeps.driver",
     "run_sweep": "repro.sweeps.driver",
     "run_sweep_suite": "repro.sweeps.driver",

@@ -135,6 +135,31 @@ def point_is_saturated(
     return False
 
 
+def latency_reference(
+    points: Sequence[LoadPoint],
+    plateau_fraction: float = 0.85,
+    payload_fraction: float = 1.0,
+) -> Optional[float]:
+    """Latency baseline for the slope criterion: the average latency of
+    the lowest-rate measured point that delivered traffic and is not
+    itself saturated by the backlog or plateau criteria.
+
+    ``None`` when no such point exists (every measured point is already
+    backlogged or below the plateau threshold) — the latency criterion
+    is then skipped, which is safe because those points saturate through
+    the other criteria anyway.
+    """
+    for point in points:
+        if point.delivered > 0 and not point_is_saturated(
+            point,
+            base_latency=None,
+            plateau_fraction=plateau_fraction,
+            payload_fraction=payload_fraction,
+        ):
+            return point.avg_latency
+    return None
+
+
 def detect_saturation(
     points: Sequence[LoadPoint],
     latency_factor: float = 4.0,
@@ -145,18 +170,21 @@ def detect_saturation(
 
     Returns ``None`` for an empty curve or one that never saturates
     (e.g. a monotone curve on a non-blocking network).  The latency
-    reference is the lowest-rate point; a single-point curve can still
-    saturate through the backlog or plateau criteria.  Points are
-    classified independently, so one noisy dip above the plateau
-    threshold near the knee does not flag saturation early.
+    reference is the lowest *unsaturated* measured point
+    (:func:`latency_reference`), so bisection refinements probing below
+    a saturated lowest grid point classify against the same baseline as
+    this final pass.  The reference point itself can never trip the
+    slope criterion (``latency_factor > 1``).  Points are classified
+    independently, so one noisy dip above the plateau threshold near
+    the knee does not flag saturation early.
     """
     if not points:
         return None
-    base = points[0].avg_latency if points[0].delivered > 0 else None
+    base = latency_reference(points, plateau_fraction, payload_fraction)
     for i, point in enumerate(points):
         if point_is_saturated(
             point,
-            base_latency=base if i > 0 else None,
+            base_latency=base,
             latency_factor=latency_factor,
             plateau_fraction=plateau_fraction,
             payload_fraction=payload_fraction,
@@ -215,6 +243,7 @@ def run_sweep(
     obs: Optional[Observability] = None,
     label: Optional[str] = None,
     strict_patterns: bool = False,
+    premeasured: Optional[Dict[float, LoadPoint]] = None,
 ) -> SaturationCurve:
     """Sweep offered load to saturation on one (topology, pattern) pair.
 
@@ -222,6 +251,14 @@ def run_sweep(
     inherently sequential but still run through the cache, so a re-run
     of an identical sweep is free end to end and byte-identical
     (serial == parallel == cache-hit).
+
+    ``premeasured`` seeds the sweep with already-measured load points
+    keyed by (rounded) offered rate — :func:`run_sweep_suite` uses it to
+    fan the whole grid's initial rates through one batched
+    :func:`~repro.eval.parallel.run_cells` call and hand each pair its
+    slice, so only the bisection refinements still run here.  Points
+    must come from cells built with identical parameters, or the curve
+    will mix measurements (the suite guarantees this by construction).
     """
     sweep = sweep or SweepConfig()
     config = config or SimConfig()
@@ -237,18 +274,21 @@ def run_sweep(
     with obs.tracer.span(
         "sweep.run", topology=label, pattern=spec, nodes=topology.network.num_processors
     ):
-        measured: Dict[float, LoadPoint] = {}
+        measured: Dict[float, LoadPoint] = dict(premeasured or {})
 
         def measure(rates: Sequence[float]) -> None:
+            todo = [rate for rate in rates if rate not in measured]
+            if not todo:
+                return
             cells = [
                 _make_cell(label, topology, spec, rate, sweep, config, link_delays)
-                for rate in rates
+                for rate in todo
             ]
             outcomes = run_cells(
                 cells, jobs=jobs, cache=cache, progress=progress, obs=obs
             )
             obs.metrics.counter("sweep.cells").inc(len(outcomes))
-            for rate, outcome in zip(rates, outcomes):
+            for rate, outcome in zip(todo, outcomes):
                 measured[rate] = loadpoint_from_dict(outcome.payload)
 
         measure(_initial_rates(sweep))
@@ -268,13 +308,22 @@ def run_sweep(
             # quarter of it rather than toward zero (rates must stay
             # positive).
             lo = rates[first - 1] if first > 0 else _round_rate(rates[0] / 4)
-            base = points[0].avg_latency if points[0].delivered > 0 else None
             for _ in range(sweep.refine_iters):
                 mid = _round_rate((lo + hi) / 2)
                 if mid <= lo or mid >= hi or mid in measured:
                     break
                 measure([mid])
                 obs.metrics.counter("sweep.refine_steps").inc()
+                # Recompute the latency baseline from the lowest
+                # unsaturated point measured so far: when the lowest
+                # grid point itself saturates, down-bisection probes
+                # below it, and classifying those probes against the
+                # saturated point's (inflated) latency would disagree
+                # with the final detect_saturation pass, which sees the
+                # new probe as the curve's lowest point.
+                base = latency_reference(
+                    sorted_points(), sweep.plateau_fraction, payload_fraction
+                )
                 if point_is_saturated(
                     measured[mid],
                     base,
@@ -321,24 +370,68 @@ def run_sweep_suite(
     progress: Optional[ProgressCallback] = None,
     obs: Optional[Observability] = None,
     label: str = "sweep-suite",
+    strict_patterns: bool = False,
 ) -> SweepResult:
-    """Sweep every pattern over every ``(label, topology, link_delays)``."""
-    curves = []
+    """Sweep every pattern over every ``(label, topology, link_delays)``.
+
+    The *entire* grid's initial rate points — every (topology, pattern)
+    pair times every initial rate — fan out through **one**
+    :func:`~repro.eval.parallel.run_cells` call, so a worker pool sees
+    the whole suite at once instead of one pair's handful of cells
+    between barriers (per-pair sweeps stall the pool on each pair's
+    slowest cell; the batch keeps every worker busy until the grid is
+    done).  Bisection refinements then run per pair, in-process,
+    against the already-measured initial points (and the shared result
+    cache, when one is given).  Curves are byte-identical to running
+    :func:`run_sweep` per pair — same cells, same rounding, same
+    detection — which the determinism suite pins.
+    """
+    sweep = sweep or SweepConfig()
+    config = config or SimConfig()
+    obs = obs if obs is not None else DISABLED
+    rates = _initial_rates(sweep)
+    # Canonicalize and validate every pair up front, in the
+    # coordinator, so a bad spec fails before any cell runs.
+    pairs = []
     for top_label, topology, link_delays in topologies:
         for pattern in patterns:
-            curve = run_sweep(
-                topology,
-                pattern,
-                sweep=sweep,
-                config=config,
-                link_delays=link_delays,
-                jobs=jobs,
-                cache=cache,
-                progress=progress,
-                obs=obs,
-                label=top_label,
-            )
-            curves.append((top_label, curve.pattern, curve))
+            spec = canonical_spec(pattern)
+            resolve_pattern(spec, topology=topology, strict=strict_patterns)
+            pairs.append((top_label, topology, link_delays, spec))
+
+    cells = [
+        _make_cell(top_label, topology, spec, rate, sweep, config, link_delays)
+        for top_label, topology, link_delays, spec in pairs
+        for rate in rates
+    ]
+    outcomes = run_cells(cells, jobs=jobs, cache=cache, progress=progress, obs=obs)
+    obs.metrics.counter("sweep.cells").inc(len(outcomes))
+
+    curves = []
+    for i, (top_label, topology, link_delays, spec) in enumerate(pairs):
+        pair_outcomes = outcomes[i * len(rates) : (i + 1) * len(rates)]
+        premeasured = {
+            rate: loadpoint_from_dict(outcome.payload)
+            for rate, outcome in zip(rates, pair_outcomes)
+        }
+        curve = run_sweep(
+            topology,
+            spec,
+            sweep=sweep,
+            config=config,
+            link_delays=link_delays,
+            # Refinements measure one cell at a time; a worker pool
+            # would add pure spawn overhead, and serial == parallel
+            # byte identity makes the in-process path equivalent.
+            jobs=None,
+            cache=cache,
+            progress=progress,
+            obs=obs,
+            label=top_label,
+            strict_patterns=strict_patterns,
+            premeasured=premeasured,
+        )
+        curves.append((top_label, curve.pattern, curve))
     return SweepResult(label=label, curves=tuple(curves))
 
 

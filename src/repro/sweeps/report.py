@@ -26,7 +26,25 @@ from repro.eval.serialize import (
 from repro.simulator.openloop import LoadPoint
 
 #: Bump when the artifact layout changes incompatibly.
-SWEEP_SCHEMA = 1
+#: Schema 2: every load point carries p50/p95/p99 latency percentiles.
+SWEEP_SCHEMA = 2
+
+
+def _check_schema(raw: dict, kind: str) -> int:
+    """Reject artifacts from other schema generations with a clear hint."""
+    schema = raw.get("schema")
+    if schema == SWEEP_SCHEMA:
+        return schema
+    hint = ""
+    if schema == 1:
+        hint = (
+            "; schema-1 artifacts predate the p50/p95/p99 latency "
+            "percentile fields — re-run the sweep to regenerate them"
+        )
+    raise SimulationError(
+        f"unsupported {kind} artifact schema {schema!r} "
+        f"(this build reads schema {SWEEP_SCHEMA}{hint})"
+    )
 
 
 @dataclass(frozen=True)
@@ -79,12 +97,7 @@ class SaturationCurve:
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SaturationCurve":
-        schema = raw.get("schema")
-        if schema != SWEEP_SCHEMA:
-            raise SimulationError(
-                f"unsupported sweep artifact schema {schema!r} "
-                f"(this build reads schema {SWEEP_SCHEMA})"
-            )
+        schema = _check_schema(raw, "saturation-curve")
         return cls(
             topology_name=raw["topology_name"],
             pattern=raw["pattern"],
@@ -112,13 +125,16 @@ def curve_table(curve: SaturationCurve) -> str:
         f"saturation sweep: {curve.pattern} on {curve.topology_name} "
         f"({curve.num_nodes} nodes, seed {curve.seed})",
         f"{'offered':>9} {'accepted':>9} {'latency':>9} "
+        f"{'p50':>7} {'p95':>7} {'p99':>7} "
         f"{'delivered':>9} {'saturated':>9}",
     ]
     for p in curve.points:
         lines.append(
             f"{p.offered_flits_per_node_cycle:>9.4f} "
             f"{p.accepted_flits_per_node_cycle:>9.4f} "
-            f"{p.avg_latency:>9.1f} {p.delivered:>9d} "
+            f"{p.avg_latency:>9.1f} "
+            f"{p.p50_latency:>7d} {p.p95_latency:>7d} {p.p99_latency:>7d} "
+            f"{p.delivered:>9d} "
             f"{str(p.saturated):>9}"
         )
     if curve.saturation_rate is not None:
@@ -136,12 +152,17 @@ def curve_table(curve: SaturationCurve) -> str:
 
 def curve_csv(curve: SaturationCurve) -> str:
     """CSV rendering (header + one row per load point)."""
-    lines = ["offered,accepted,avg_latency,delivered,saturated"]
+    lines = [
+        "offered,accepted,avg_latency,p50_latency,p95_latency,p99_latency,"
+        "delivered,saturated"
+    ]
     for p in curve.points:
         lines.append(
             f"{p.offered_flits_per_node_cycle!r},"
             f"{p.accepted_flits_per_node_cycle!r},"
-            f"{p.avg_latency!r},{p.delivered},{int(p.saturated)}"
+            f"{p.avg_latency!r},"
+            f"{p.p50_latency},{p.p95_latency},{p.p99_latency},"
+            f"{p.delivered},{int(p.saturated)}"
         )
     return "\n".join(lines) + "\n"
 
@@ -167,13 +188,23 @@ class SweepResult:
     schema: int = SWEEP_SCHEMA
 
     def curve(self, topology_label: str, pattern: str) -> SaturationCurve:
+        found = self.find_curve(topology_label, pattern)
+        if found is None:
+            raise SimulationError(
+                f"no curve for topology {topology_label!r} / pattern {pattern!r} "
+                f"in sweep result {self.label!r}"
+            )
+        return found
+
+    def find_curve(
+        self, topology_label: str, pattern: str
+    ) -> Optional[SaturationCurve]:
+        """Like :meth:`curve`, but ``None`` on a missing pair — ragged
+        grids (a topology swept on a subset of patterns) are legal."""
         for top, pat, curve in self.curves:
             if top == topology_label and pat == pattern:
                 return curve
-        raise SimulationError(
-            f"no curve for topology {topology_label!r} / pattern {pattern!r} "
-            f"in sweep result {self.label!r}"
-        )
+        return None
 
     @property
     def topology_labels(self) -> Tuple[str, ...]:
@@ -204,12 +235,7 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SweepResult":
-        schema = raw.get("schema")
-        if schema != SWEEP_SCHEMA:
-            raise SimulationError(
-                f"unsupported sweep artifact schema {schema!r} "
-                f"(this build reads schema {SWEEP_SCHEMA})"
-            )
+        schema = _check_schema(raw, "sweep-result")
         return cls(
             label=raw["label"],
             curves=tuple(
@@ -236,6 +262,11 @@ def degradation_table(
     topology's saturation throughput and, in parentheses, its ratio to
     the baseline topology's on the same pattern — below 1.0 means the
     topology degrades relative to the baseline on that traffic.
+
+    Ragged grids are tolerated: a (topology, pattern) pair that was
+    never swept renders as ``-``, and when the baseline's throughput is
+    0 (or the baseline pair is missing) the ratio renders as ``n/a``
+    instead of ``inf``.
     """
     tops = result.topology_labels
     if baseline not in tops:
@@ -248,11 +279,16 @@ def degradation_table(
     lines = [title or f"saturation throughput (flits/node/cycle), "
              f"ratio vs {baseline}", header, "-" * len(header)]
     for pattern in result.patterns:
-        base = result.curve(baseline, pattern).saturation_throughput
+        base_curve = result.find_curve(baseline, pattern)
+        base = base_curve.saturation_throughput if base_curve else 0.0
         row = f"{pattern:<16}"
         for top in tops:
-            sat = result.curve(top, pattern).saturation_throughput
-            ratio = sat / base if base > 0 else float("inf")
-            row += f"{sat:>{width - 7}.4f} ({ratio:4.2f})"
+            curve = result.find_curve(top, pattern)
+            if curve is None:
+                row += f"{'-':>{width}}"
+                continue
+            sat = curve.saturation_throughput
+            ratio = f"{sat / base:4.2f}" if base > 0 else " n/a"
+            row += f"{sat:>{width - 7}.4f} ({ratio})"
         lines.append(row)
     return "\n".join(lines)

@@ -13,10 +13,14 @@ from repro.eval.serialize import (
     decode_resource,
     encode_link_utilization,
     encode_resource,
+    loadpoint_from_dict,
+    loadpoint_to_dict,
     result_from_dict,
     result_to_dict,
 )
 from repro.simulator import SimConfig, simulate
+from repro.simulator.openloop import LoadPoint, run_open_loop
+from repro.topology import mesh
 from repro.topology import crossbar
 from repro.workloads import PhaseProgramBuilder
 
@@ -95,3 +99,39 @@ class TestResultRoundTrip:
 
     def test_canonical_json_sorts_and_strips(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestLoadPointRoundTrip:
+    def test_synthetic_point_survives_json(self):
+        point = LoadPoint(
+            offered_flits_per_node_cycle=0.3,
+            accepted_flits_per_node_cycle=0.28,
+            avg_latency=21.5,
+            delivered=144,
+            saturated=False,
+            p50_latency=19,
+            p95_latency=44,
+            p99_latency=61,
+        )
+        raw = json.loads(json.dumps(loadpoint_to_dict(point)))
+        assert loadpoint_from_dict(raw) == point
+
+    def test_percentile_fields_serialized(self):
+        raw = loadpoint_to_dict(LoadPoint(0.1, 0.09, 10.0, 5, False, 9, 12, 14))
+        assert raw["p50_latency"] == 9
+        assert raw["p95_latency"] == 12
+        assert raw["p99_latency"] == 14
+
+    def test_measured_point_round_trips(self):
+        point = run_open_loop(
+            mesh(2, 2), 0.2,
+            warmup_cycles=100, measure_cycles=300, drain_cycles=300,
+        )
+        assert point.delivered > 0
+        assert 0 < point.p50_latency <= point.p95_latency <= point.p99_latency
+        raw = json.loads(json.dumps(loadpoint_to_dict(point)))
+        restored = loadpoint_from_dict(raw)
+        assert restored == point
+        assert canonical_json(loadpoint_to_dict(restored)) == canonical_json(
+            loadpoint_to_dict(point)
+        )

@@ -4,20 +4,20 @@ One shared definition of every workload the event-queue engine must
 reproduce *byte-identically*: trace replays (bench cases, fault
 campaigns, link-delay variants), the full certificate verify corpus
 (every NAS benchmark at both paper scales on generated/mesh/torus),
-and open-loop load points.  Three consumers read it:
+and open-loop load points.  Two consumers read it:
 
-* ``scripts/gen_simulator_golden.py`` — ran once against the
-  pre-rewrite engine to freeze the oracle under
-  ``tests/simulator/golden/``;
+* ``scripts/gen_simulator_golden.py`` — regenerates the committed
+  oracle under ``tests/simulator/golden/`` (first frozen from the
+  pre-rewrite engine; refreshed whenever the *payload shape* changes,
+  with the unchanged fields diffed against the previous goldens);
 * ``tests/simulator/test_event_queue_diff.py`` — replays every case
-  through the current engine (and the vendored legacy engine) and
-  asserts canonical-JSON equality against the goldens;
-* future PRs that delete ``legacy_engine.py`` — the goldens keep the
-  oracle alive without the vendored code.
+  through the current engine and asserts canonical-JSON equality
+  against the goldens, which are the sole oracle now that the vendored
+  pre-rewrite ``legacy_engine`` has been retired.
 
 Every runner takes the simulate/replay/open-loop callable as an
-argument so the same case definitions drive the pristine engine, the
-vendored legacy engine, and the event-queue engine.
+argument so the same case definitions can drive any engine
+implementation.
 """
 
 from __future__ import annotations

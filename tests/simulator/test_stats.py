@@ -1,9 +1,11 @@
 """Tests for simulation statistics."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.simulator import SimConfig
-from repro.simulator.stats import SimulationResult
+from repro.simulator.stats import SimulationResult, nearest_rank_percentile
 
 
 def _result(**overrides):
@@ -107,3 +109,31 @@ class TestLatencyPercentiles:
             r.latency_percentile(-1)
         with pytest.raises(ValueError):
             r.latency_percentile(101)
+
+
+class TestNearestRankPercentile:
+    """The module-level helper shared by SimulationResult and LoadPoint."""
+
+    def test_matches_result_convention(self):
+        values = (40, 10, 30, 20)
+        r = _result(packet_latencies=values)
+        for p in (0, 0.1, 25, 50, 75, 95, 99, 100):
+            assert nearest_rank_percentile(values, p) == r.latency_percentile(p)
+
+    def test_empty_gives_zero(self):
+        assert nearest_rank_percentile([], 99) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1], 100.5)
+
+    @given(
+        latencies=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200
+        )
+    )
+    def test_percentiles_are_monotone_and_bounded(self, latencies):
+        p50 = nearest_rank_percentile(latencies, 50)
+        p95 = nearest_rank_percentile(latencies, 95)
+        p99 = nearest_rank_percentile(latencies, 99)
+        assert min(latencies) <= p50 <= p95 <= p99 <= max(latencies)

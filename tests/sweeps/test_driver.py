@@ -9,6 +9,7 @@ from repro.sweeps.driver import (
     SweepConfig,
     _initial_rates,
     detect_saturation,
+    latency_reference,
     point_is_saturated,
     run_sweep,
     run_sweep_suite,
@@ -122,6 +123,32 @@ class TestDetectSaturation:
         assert detect_saturation(points) == 1
 
 
+class TestLatencyReference:
+    def test_lowest_unsaturated_point_wins(self):
+        points = [_pt(0.1, 0.1, 10.0), _pt(0.5, 0.5, 30.0)]
+        assert latency_reference(points) == 10.0
+
+    def test_saturated_lowest_point_is_skipped(self):
+        """The satellite bugfix: a backlogged or plateaued lowest grid
+        point must not serve as the latency baseline."""
+        points = [
+            _pt(0.6, 0.2, 400.0, saturated=True),  # backlogged
+            _pt(0.15, 0.05, 350.0),  # plateaued (0.05 < 0.85 x 0.15)
+            _pt(0.1, 0.1, 12.0),  # the true baseline
+        ]
+        assert latency_reference(sorted(
+            points, key=lambda p: p.offered_flits_per_node_cycle
+        )) == 12.0
+
+    def test_zero_delivery_points_are_skipped(self):
+        points = [_pt(0.1, 0.1, 0.0, delivered=0), _pt(0.5, 0.5, 25.0)]
+        assert latency_reference(points) == 25.0
+
+    def test_no_candidate_gives_none(self):
+        assert latency_reference([]) is None
+        assert latency_reference([_pt(0.9, 0.1, 500.0, saturated=True)]) is None
+
+
 class TestPointIsSaturated:
     def test_backlog_flag_wins(self):
         assert point_is_saturated(_pt(0.1, 0.1, 10.0, saturated=True), None)
@@ -187,6 +214,41 @@ class TestRunSweep:
         with pytest.raises(SimulationError, match="unknown pattern"):
             run_sweep(mesh(2, 2), "nope", sweep=FAST)
 
+    def test_saturation_at_lowest_initial_rate_keeps_bracket_consistent(self):
+        """Regression for the stale latency baseline: when the lowest
+        grid point itself saturates (``first == 0``), down-bisection
+        probes below it, and the refinement loop used to classify those
+        probes against the saturated point's inflated latency — landing
+        the final bracket on rates the final ``detect_saturation`` pass
+        (whose baseline is the new lowest point) contradicts.  On
+        mesh-4x4 adversarial traffic with the grid starting at 0.7
+        (above the ~0.62 knee) the old code reported a saturation rate
+        *above* a point it simultaneously classified as saturated."""
+        sweep = SweepConfig(
+            min_rate=0.7, max_rate=1.0, initial_points=3, refine_iters=4,
+            warmup_cycles=200, measure_cycles=600, drain_cycles=800,
+        )
+        curve = run_sweep(mesh(4, 4), "adversarial", sweep=sweep)
+        assert curve.saturated
+        # Refinement probed below the saturated lowest grid point.
+        assert curve.saturation_rate < sweep.min_rate
+        flits = 32 // 8 + 1  # SimConfig default: 8-byte flits + header
+        payload_fraction = (flits - 1) / flits
+        first = detect_saturation(
+            curve.points, sweep.latency_factor, sweep.plateau_fraction,
+            payload_fraction,
+        )
+        assert first is not None
+        # The final pass and the bisection bracket must agree: the
+        # saturation estimate sits between the last unsaturated and the
+        # first saturated measured rate.
+        assert curve.points[first].offered_flits_per_node_cycle >= curve.saturation_rate
+        assert (
+            first == 0
+            or curve.points[first - 1].offered_flits_per_node_cycle
+            <= curve.saturation_rate
+        )
+
     def test_suite_grid_and_lookup(self):
         tops = [("mesh", mesh(2, 2), None), ("xbar", crossbar(4), None)]
         result = run_sweep_suite(tops, ["uniform", "neighbor"], sweep=FAST)
@@ -194,6 +256,43 @@ class TestRunSweep:
         assert result.patterns == ("uniform", "neighbor")
         assert len(result.curves) == 4
         assert result.curve("xbar", "neighbor").topology_name == "xbar"
+
+    def test_batched_suite_matches_per_pair_sweeps_byte_identically(self):
+        """The suite fans the whole grid's initial rates through one
+        run_cells call; the curves must still be byte-identical to
+        sweeping each (topology, pattern) pair on its own."""
+        tops = [("mesh", mesh(2, 2), None), ("xbar", crossbar(4), None)]
+        patterns = ["uniform", "tornado"]
+        suite = run_sweep_suite(tops, patterns, sweep=FAST)
+        for top_label, topology, link_delays in tops:
+            for pattern in patterns:
+                solo = run_sweep(
+                    topology, pattern, sweep=FAST,
+                    link_delays=link_delays, label=top_label,
+                )
+                batched = suite.curve(top_label, pattern)
+                assert batched.to_json() == solo.to_json()
+
+    def test_suite_validates_every_pair_before_any_cell(self):
+        tops = [("mesh", mesh(2, 2), None)]
+        with pytest.raises(SimulationError, match="unknown pattern"):
+            run_sweep_suite(tops, ["uniform", "nope"], sweep=FAST)
+
+    def test_premeasured_initial_grid_reproduces_the_solo_sweep(self):
+        """A sweep seeded with the initial grid's points skips their
+        cells and still refines to a byte-identical curve."""
+        solo = run_sweep(mesh(2, 2), "uniform", sweep=FAST)
+        initial = set(_initial_rates(FAST))
+        premeasured = {
+            p.offered_flits_per_node_cycle: p
+            for p in solo.points
+            if p.offered_flits_per_node_cycle in initial
+        }
+        assert len(premeasured) == len(initial)
+        seeded = run_sweep(
+            mesh(2, 2), "uniform", sweep=FAST, premeasured=premeasured
+        )
+        assert seeded.to_json() == solo.to_json()
 
 
 class TestSpareLinkVariant:

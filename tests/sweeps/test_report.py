@@ -23,9 +23,9 @@ def _curve(topology="mesh", pattern="tornado", sat=0.42, **over):
         num_nodes=16,
         seed=0,
         points=(
-            LoadPoint(0.1, 0.09333333333333334, 20.0, 128, False),
-            LoadPoint(0.55, 0.42, 180.5, 700, False),
-            LoadPoint(1.0, 0.43, 900.0, 720, True),
+            LoadPoint(0.1, 0.09333333333333334, 20.0, 128, False, 18, 31, 36),
+            LoadPoint(0.55, 0.42, 180.5, 700, False, 150, 420, 510),
+            LoadPoint(1.0, 0.43, 900.0, 720, True, 700, 2100, 2600),
         ),
         saturation_rate=0.55,
         saturation_throughput=sat,
@@ -75,7 +75,10 @@ class TestSaturationCurve:
     def test_csv_round_trips_floats_exactly(self):
         curve = _curve()
         lines = curve_csv(curve).strip().splitlines()
-        assert lines[0] == "offered,accepted,avg_latency,delivered,saturated"
+        assert lines[0] == (
+            "offered,accepted,avg_latency,p50_latency,p95_latency,p99_latency,"
+            "delivered,saturated"
+        )
         assert len(lines) == 1 + len(curve.points)
         first = lines[1].split(",")
         assert float(first[1]) == curve.points[0].accepted_flits_per_node_cycle
@@ -131,3 +134,51 @@ class TestSweepResult:
     def test_degradation_table_custom_title(self):
         table = degradation_table(self._result(), title="smoke study")
         assert table.splitlines()[0] == "smoke study"
+
+    def test_degradation_table_ragged_grid_renders_dash(self):
+        """A topology missing one pattern's curve must render ``-``
+        instead of raising (regression: SimulationError on ragged
+        grids)."""
+        result = SweepResult(
+            label="ragged",
+            curves=(
+                ("mesh", "tornado", _curve("mesh", "tornado", sat=0.5)),
+                ("mesh", "uniform", _curve("mesh", "uniform", sat=0.6)),
+                ("generated", "tornado", _curve("generated", "tornado", sat=0.25)),
+                # generated/uniform was never swept.
+            ),
+        )
+        table = degradation_table(result, baseline="mesh")
+        row = next(
+            line for line in table.splitlines() if line.startswith("uniform")
+        )
+        assert row.rstrip().endswith("-")
+        assert "inf" not in table
+
+    def test_degradation_table_zero_baseline_renders_na(self):
+        """A baseline with zero saturation throughput must render the
+        ratio as ``n/a`` instead of ``inf``."""
+        result = SweepResult(
+            label="zero-base",
+            curves=(
+                ("mesh", "tornado", _curve("mesh", "tornado", sat=0.0)),
+                ("generated", "tornado", _curve("generated", "tornado", sat=0.25)),
+            ),
+        )
+        table = degradation_table(result, baseline="mesh")
+        assert "n/a" in table
+        assert "inf" not in table
+
+    def test_find_curve_returns_none_on_missing_pair(self):
+        assert self._result().find_curve("torus", "tornado") is None
+        assert self._result().find_curve("mesh", "tornado") is not None
+
+    def test_schema1_rejection_names_the_percentile_migration(self):
+        raw = self._result().to_dict()
+        raw["schema"] = 1
+        with pytest.raises(SimulationError, match="p50/p95/p99"):
+            SweepResult.from_dict(raw)
+        curve_raw = _curve().to_dict()
+        curve_raw["schema"] = 1
+        with pytest.raises(SimulationError, match="re-run the sweep"):
+            SaturationCurve.from_dict(curve_raw)

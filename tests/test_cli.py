@@ -202,7 +202,9 @@ class TestSweepCommand:
         payload = json.loads(jpath.read_text())
         assert payload["kind"] == "saturation-curve"
         assert payload["pattern"] == "hotspot:1:0.8"
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
+        for point in payload["points"]:
+            assert point["p50_latency"] <= point["p95_latency"] <= point["p99_latency"]
         assert cpath.read_text().startswith("offered,accepted,")
 
     def test_strict_pattern_violation_is_clean_error(self, capsys):
