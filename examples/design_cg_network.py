@@ -54,9 +54,9 @@ def main():
     design = generate_network(bench.pattern, seed=0)
     print(design.network.describe())
     print(f"contention-free: {design.certificate.contention_free}")
-    print(f"bisections: {design.result.bisections}, "
-          f"route moves: {design.result.route_moves}, "
-          f"processor moves: {design.result.processor_moves}")
+    print(f"bisections: {design.stats.bisections}, "
+          f"route moves: {design.stats.route_moves}, "
+          f"processor moves: {design.stats.processor_moves}")
     print()
 
     print("=== Figure 6(b)/7: floorplan and area vs mesh ===")

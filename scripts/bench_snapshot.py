@@ -2,8 +2,9 @@
 """Write schema-versioned benchmark snapshots (``BENCH_*.json``).
 
 Measures the hot paths the repo pins — synthesis (cg-16 annealed
-partitioning), the flit-level simulator (trace replay plus the
-idle-heavy NIC-wake workload), and the saturation-sweep driver
+partitioning plus portfolio fan-outs at 16 and 64 nodes, serial vs
+fanned and cold vs warm cache), the flit-level simulator (trace replay
+plus the idle-heavy NIC-wake workload), and the saturation-sweep driver
 (tornado + uniform knee searches on the 4x4 mesh, plus the batched
 suite fan-out against per-pair sweeps on the robustness smoke grid) —
 and writes
@@ -66,8 +67,10 @@ def _best_of(fn, repeats: int):
 
 def _synthesis_cases(repeats: int):
     from repro.model.cliques import CliqueAnalysis
+    from repro.synthesis.annealing import AnnealSchedule
     from repro.synthesis.constraints import DesignConstraints
     from repro.synthesis.partition import Partitioner
+    from repro.synthesis.portfolio import PortfolioConfig
     from repro.workloads.nas import benchmark as nas_benchmark
 
     analysis = CliqueAnalysis.of(nas_benchmark("cg", 16).pattern)
@@ -79,7 +82,7 @@ def _synthesis_cases(repeats: int):
 
     run()  # warm imports and caches outside the timed region
     wall, result = _best_of(run, max(repeats, 5))  # fast case: extra repeats are cheap
-    return {
+    cases = {
         "cg16-anneal-seed0": {
             "wall_s": round(wall, 6),
             "deterministic": {
@@ -90,6 +93,114 @@ def _synthesis_cases(repeats: int):
                 "switches": len(result.state.switch_procs),
             },
         }
+    }
+
+    # Portfolio cases: serial (jobs=1) vs fanned (jobs=2), each run cold
+    # against a fresh cache and again warm against its own.  The winner's
+    # deterministic fields and the full summary+design byte identity are
+    # pinned across all four variants — the portfolio's core contract.
+    cg16 = nas_benchmark("cg", 16).pattern
+    cases["cg16-portfolio-k4"] = _portfolio_case(
+        cg16, DesignConstraints(), PortfolioConfig(size=4)
+    )
+    cases["cg16-portfolio-grid"] = _portfolio_case(
+        cg16,
+        DesignConstraints(),
+        PortfolioConfig(
+            size=2,
+            schedules=(None, AnnealSchedule(steps=400, moves_per_temperature=10)),
+        ),
+    )
+    # The scaled-NAS corpus (workloads.nas.scaled_suite): cg at 64 nodes
+    # is infeasible at the paper's degree-5 bound, so the 64-node bench
+    # runs at max_degree=8 where seeds 0 and 1 both succeed.
+    cases["cg64-portfolio-k2"] = _portfolio_case(
+        nas_benchmark("cg", 64).pattern,
+        DesignConstraints(max_degree=8),
+        PortfolioConfig(size=2),
+    )
+    return cases
+
+
+def _portfolio_case(pattern, constraints, config):
+    """Time one synthesis portfolio serial vs fanned, cold vs warm.
+
+    Four variants: serial (``jobs=1``) and fanned (``jobs=2``), each
+    cold against a fresh content-addressed cache and then warm against
+    its own.  ``fanned_speedup`` is the cold ratio — real compute
+    parallelism, so it grows with core count and is ~1 on a single-core
+    runner; the warm ratio is also recorded and is ~1 everywhere
+    (pure cache hits).  ``byte_identical`` pins the portfolio's
+    determinism contract: the summary and the rehydrated winner design
+    serialize identically across jobs values and cache states.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+
+    from repro.eval.parallel import ResultCache
+    from repro.eval.serialize import canonical_json, design_to_dict
+    from repro.synthesis.portfolio import synthesize_portfolio
+
+    def identity(result):
+        return canonical_json(
+            {
+                "summary": result.summary_dict(),
+                "design": design_to_dict(result.design),
+            }
+        )
+
+    tmp = tempfile.mkdtemp(prefix="bench-portfolio-")
+    try:
+        serial_cache = ResultCache(Path(tmp) / "serial")
+        fanned_cache = ResultCache(Path(tmp) / "fanned")
+
+        def run(jobs, cache):
+            return synthesize_portfolio(
+                pattern, constraints=constraints, config=config,
+                jobs=jobs, cache=cache,
+            )
+
+        walls = {}
+        t0 = time.perf_counter()
+        serial = run(1, serial_cache)
+        walls["cold_serial"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_serial = run(1, serial_cache)
+        walls["warm_serial"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fanned = run(2, fanned_cache)
+        walls["cold_fanned"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_fanned = run(2, fanned_cache)
+        walls["warm_fanned"] = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    text = identity(fanned)
+    return {
+        "wall_s": round(walls["cold_fanned"], 6),
+        "wall_serial_s": round(walls["cold_serial"], 6),
+        "wall_warm_s": round(walls["warm_fanned"], 6),
+        "wall_warm_serial_s": round(walls["warm_serial"], 6),
+        "fanned_speedup": round(walls["cold_serial"] / walls["cold_fanned"], 4),
+        "fanned_speedup_warm": round(
+            walls["warm_serial"] / walls["warm_fanned"], 4
+        ),
+        "deterministic": {
+            "winner_seed": fanned.winner.seed,
+            "winner_objective": fanned.winner.objective,
+            "winner_links": fanned.winner.links,
+            "winner_switches": fanned.winner.switches,
+            "feasible_runs": sum(1 for r in fanned.runs if r.status == "ok"),
+            "runs": len(fanned.runs),
+            "byte_identical": (
+                identity(serial) == text
+                and identity(warm_serial) == text
+                and identity(warm_fanned) == text
+            ),
+            "result_sha256": hashlib.sha256(text.encode()).hexdigest(),
+        },
     }
 
 

@@ -132,8 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--seed", type=int, default=0)
     syn.add_argument("--restarts", type=int, default=8)
     syn.add_argument(
+        "--portfolio", type=int, default=None, metavar="K",
+        help="fan K seeded synthesis runs through the cached eval runner "
+        "and keep the deterministic winner (replaces serial --restarts)",
+    )
+    syn.add_argument(
+        "--seed-base", type=int, default=None, metavar="S",
+        help="first seed of the portfolio grid (default: --seed)",
+    )
+    syn.add_argument(
+        "--objective", default="links", choices=("links", "switches", "avg-hops"),
+        help="portfolio ranking objective (default links)",
+    )
+    syn.add_argument(
+        "--target-objective", type=float, default=None, metavar="X",
+        help="early-stop the portfolio once a candidate reaches this "
+        "objective value (races in --jobs-wide waves; trades the "
+        "cross-jobs determinism guarantee for wall time)",
+    )
+    syn.add_argument(
         "--floorplan", action="store_true", help="also place and render the result"
     )
+    _add_runner_options(syn)
     _add_obs_options(syn, trace_flag="--trace-out")
 
     sim = sub.add_parser("simulate", help="replay a benchmark on a topology")
@@ -303,6 +323,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="bisection steps around the knee (default 4)",
     )
     swp.add_argument(
+        "--criterion", default="mean-knee", choices=("mean-knee", "p99-knee"),
+        help="saturation criterion: knee of the mean latency curve "
+        "(default) or of the p99 tail-latency curve",
+    )
+    swp.add_argument(
+        "--plot", dest="plot_out", default=None, metavar="PATH",
+        help="write a p50/p95/p99 latency-vs-rate chart (SVG when PATH "
+        "ends in .svg, ASCII otherwise)",
+    )
+    swp.add_argument(
         "--strict-patterns", action="store_true",
         help="fail when the pattern's size requirement does not hold "
         "instead of falling back to uniform traffic",
@@ -333,7 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_synthesize(args) -> int:
     from repro.floorplan import place
-    from repro.synthesis import DesignConstraints, generate_network
+    from repro.synthesis import (
+        DesignConstraints,
+        PortfolioConfig,
+        generate_network,
+        synthesize_portfolio,
+    )
     from repro.workloads import benchmark, extract_pattern, read_trace
 
     if args.benchmark:
@@ -341,19 +376,38 @@ def _cmd_synthesize(args) -> int:
     else:
         pattern = extract_pattern(read_trace(args.trace))
     obs = _obs_from(args)
-    design = generate_network(
-        pattern,
-        constraints=DesignConstraints(max_degree=args.max_degree),
-        seed=args.seed,
-        restarts=args.restarts,
-        obs=obs,
-    )
+    constraints = DesignConstraints(max_degree=args.max_degree)
+    if args.portfolio is not None:
+        runner = _runner_kwargs(args)
+        result = synthesize_portfolio(
+            pattern,
+            constraints=constraints,
+            config=PortfolioConfig(
+                size=args.portfolio,
+                seed_base=args.seed_base if args.seed_base is not None else args.seed,
+                objective=args.objective,
+                target_objective=args.target_objective,
+            ),
+            obs=obs,
+            **runner,
+        )
+        design = result.design
+        print(result.render())
+        print()
+    else:
+        design = generate_network(
+            pattern,
+            constraints=constraints,
+            seed=args.seed,
+            restarts=args.restarts,
+            obs=obs,
+        )
     print(design.network.describe())
     print(f"contention-free: {design.certificate.contention_free}")
     print(
-        f"bisections: {design.result.bisections}, "
-        f"route moves: {design.result.route_moves}, "
-        f"processor moves: {design.result.processor_moves}"
+        f"bisections: {design.stats.bisections}, "
+        f"route moves: {design.stats.route_moves}, "
+        f"processor moves: {design.stats.processor_moves}"
     )
     if args.floorplan:
         plan = place(design.network, seed=args.seed, obs=obs)
@@ -531,6 +585,7 @@ def _cmd_sweep(args) -> int:
     from repro.sweeps import (
         SweepConfig,
         curve_csv,
+        curve_plot,
         pattern_entries,
         run_sweep,
         study_topology,
@@ -563,6 +618,7 @@ def _cmd_sweep(args) -> int:
             initial_points=args.points,
             refine_iters=args.refine,
             seed=args.seed,
+            criterion=args.criterion,
         ),
         link_delays=link_delays,
         obs=obs,
@@ -579,6 +635,11 @@ def _cmd_sweep(args) -> int:
         with open(args.csv_out, "w") as fh:
             fh.write(curve_csv(curve))
         print(f"points written to {args.csv_out}", file=sys.stderr)
+    if args.plot_out:
+        fmt = "svg" if args.plot_out.lower().endswith(".svg") else "ascii"
+        with open(args.plot_out, "w") as fh:
+            fh.write(curve_plot(curve, fmt=fmt))
+        print(f"plot written to {args.plot_out}", file=sys.stderr)
     _write_obs(args, obs)
     return 0
 

@@ -46,12 +46,13 @@ import pickle
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.eval.serialize import canonical_json, config_to_dict, result_to_dict
+from repro.model.pattern import CommunicationPattern
 from repro.obs import DISABLED, Observability
 from repro.faults.repair import repair_routes
 from repro.faults.spec import FaultScenario, LinkFault, SwitchFault
@@ -61,6 +62,11 @@ from repro.simulator.routing import BoundSourceRouted
 from repro.simulator.simulation import simulate
 from repro.topology.builders import Topology
 from repro.workloads.events import Program, SendEvent
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would cycle via
+    # repro.synthesis.portfolio, which imports this module at module scope.
+    from repro.synthesis.annealing import AnnealSchedule
+    from repro.synthesis.constraints import DesignConstraints
 
 # Bump to invalidate every cached entry after a change that alters
 # simulation or synthesis results without changing any input.
@@ -302,6 +308,19 @@ def cell_key(payload: dict) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def _pattern_fingerprint(pattern: CommunicationPattern) -> dict:
+    """Full communication-pattern fingerprint (timing windows included —
+    they shape the contention cliques and therefore the design)."""
+    return {
+        "name": pattern.name,
+        "num_processes": pattern.num_processes,
+        "messages": [
+            [m.source, m.dest, m.t_start, m.t_finish, m.size_bytes, m.tag]
+            for m in pattern.messages
+        ],
+    }
+
+
 # ---------------------------------------------------------------------------
 # Cells
 # ---------------------------------------------------------------------------
@@ -484,7 +503,78 @@ class OpenLoopCell:
         return loadpoint_to_dict(point)
 
 
-Cell = Union[PerformanceCell, ResilienceCell, OpenLoopCell]
+@dataclass(frozen=True)
+class SynthesisCell:
+    """One seeded synthesis run of a portfolio (``repro.synthesis.portfolio``).
+
+    The cache key covers everything that determines the generated
+    design: the pattern's full fingerprint (message timing windows
+    shape the contention cliques), the design constraints, the seed,
+    the optional :class:`~repro.synthesis.annealing.AnnealSchedule`
+    driving temperature moves, the ablation knobs, and the code version
+    tag.  The payload is either ``{"status": "ok", "design": ...}``
+    with the design losslessly serialized through
+    :func:`repro.eval.serialize.design_to_dict`, or
+    ``{"status": "infeasible", "error": ...}`` — failures are cached
+    like successes, so a repeated portfolio never re-pays for a seed
+    whose constraints proved unsatisfiable (at 64+ nodes a failed run
+    costs as much as a successful one).
+
+    Synthesis imports happen inside :meth:`compute`:
+    ``repro.synthesis.portfolio`` imports this module at module scope,
+    so the reverse import must be deferred.
+    """
+
+    label: str
+    pattern: CommunicationPattern
+    seed: int
+    constraints: Optional["DesignConstraints"] = None
+    schedule: Optional["AnnealSchedule"] = None
+    restarts: int = 1
+    reroute: bool = True
+    moves: bool = True
+
+    def key(self) -> str:
+        return cell_key(
+            {
+                "version": code_version_tag(),
+                "kind": "synthesis",
+                "pattern": _pattern_fingerprint(self.pattern),
+                "constraints": (
+                    asdict(self.constraints) if self.constraints is not None else None
+                ),
+                "seed": self.seed,
+                "schedule": (
+                    asdict(self.schedule) if self.schedule is not None else None
+                ),
+                "restarts": self.restarts,
+                "reroute": self.reroute,
+                "moves": self.moves,
+            }
+        )
+
+    def compute(self, obs: Optional[Observability] = None) -> dict:
+        from repro.errors import SynthesisError
+        from repro.eval.serialize import design_to_dict
+        from repro.synthesis.generator import generate_network
+
+        try:
+            design = generate_network(
+                self.pattern,
+                constraints=self.constraints,
+                seed=self.seed,
+                restarts=self.restarts,
+                reroute=self.reroute,
+                moves=self.moves,
+                anneal_schedule=self.schedule,
+                obs=obs,
+            )
+        except SynthesisError as exc:
+            return {"status": "infeasible", "error": str(exc)}
+        return {"status": "ok", "design": design_to_dict(design)}
+
+
+Cell = Union[PerformanceCell, ResilienceCell, OpenLoopCell, SynthesisCell]
 
 
 # ---------------------------------------------------------------------------

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro.errors import ReproError
 from repro.simulator.config import SimConfig
 from repro.simulator.openloop import LoadPoint
 from repro.simulator.stats import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see design_to_dict)
+    from repro.model.pattern import CommunicationPattern
+    from repro.synthesis.generator import GeneratedDesign
 
 _RESOURCE_KINDS = ("link", "inj", "ej")
 
@@ -148,6 +152,141 @@ def loadpoint_from_dict(raw: dict) -> LoadPoint:
         p50_latency=raw["p50_latency"],
         p95_latency=raw["p95_latency"],
         p99_latency=raw["p99_latency"],
+    )
+
+
+def design_to_dict(design: "GeneratedDesign") -> dict:
+    """JSON-safe, lossless dictionary form of a synthesized design.
+
+    The encoding leans on two :class:`~repro.topology.network.Network`
+    invariants — ``add_switch`` and ``add_link`` assign sequential ids —
+    so switches are implied by count, links are a list indexed by link
+    id, and rebuilding them in order reproduces every id exactly.
+    Routes pin their per-hop parallel-link choices, the Theorem 1
+    certificate keeps its witnesses, and the partition counters ride as
+    :class:`~repro.synthesis.generator.DesignStats`.  The synthesis
+    imports are deferred: ``repro.synthesis.portfolio`` imports this
+    module's siblings at module scope, so importing synthesis here at
+    module scope would cycle.
+    """
+    net = design.network
+    if list(net.switches) != list(range(net.num_switches)):
+        raise SerializationError(
+            f"non-sequential switch ids {net.switches!r}; cannot encode losslessly"
+        )
+    links = sorted(net.links, key=lambda l: l.link_id)
+    if [l.link_id for l in links] != list(range(len(links))):
+        raise SerializationError(
+            "non-sequential link ids; cannot encode losslessly"
+        )
+    cert = design.certificate
+    return {
+        "pattern_name": design.pattern.name,
+        "seed": design.seed,
+        "num_processors": net.num_processors,
+        "num_switches": net.num_switches,
+        "processors": [net.switch_of(p) for p in range(net.num_processors)],
+        "links": [[l.u, l.v] for l in links],
+        "routes": [
+            [r.comm.source, r.comm.dest, list(r.switch_path), list(r.link_ids)]
+            for r in sorted(
+                design.topology.routing.table,
+                key=lambda r: (r.comm.source, r.comm.dest),
+            )
+        ],
+        "switch_map": [[s, n] for s, n in sorted(design.switch_map.items())],
+        "pipe_links": sorted(
+            [sorted(pair), list(ids)] for pair, ids in design.pipe_links.items()
+        ),
+        "stats": asdict(design.stats),
+        "certificate": {
+            "contention_free": cert.contention_free,
+            "contention_set_size": cert.contention_set_size,
+            "conflict_set_size": cert.conflict_set_size,
+            "violations": [
+                [list(v.event.as_4tuple), [str(l) for l in v.links]]
+                for v in cert.violations
+            ],
+        },
+    }
+
+
+def design_from_dict(raw: dict, pattern: "CommunicationPattern") -> "GeneratedDesign":
+    """Invert :func:`design_to_dict` against the original pattern.
+
+    The pattern itself is not serialized (the cache key already pins its
+    full fingerprint); the caller supplies it and the clique analysis is
+    recomputed — ``CliqueAnalysis.of`` is a pure function of the
+    pattern.  ``result`` is ``None`` on the rehydrated design: the
+    partition state does not survive serialization, only its counters do
+    (``stats``).  Round-tripping the result through
+    :func:`design_to_dict` is byte-identical.
+    """
+    from repro.model.cliques import CliqueAnalysis
+    from repro.model.contention import ContentionEvent
+    from repro.model.message import Communication
+    from repro.model.theorem import ContentionCertificate, ContentionViolation
+    from repro.synthesis.generator import DesignStats, FallbackRouting, GeneratedDesign
+    from repro.topology.builders import Topology
+    from repro.topology.network import Network
+    from repro.topology.routing import TableRouting, make_route
+
+    if raw["pattern_name"] != pattern.name:
+        raise SerializationError(
+            f"design was synthesized for pattern {raw['pattern_name']!r}, "
+            f"got {pattern.name!r}"
+        )
+    net = Network(raw["num_processors"])
+    for _ in range(raw["num_switches"]):
+        net.add_switch()
+    for proc, switch in enumerate(raw["processors"]):
+        net.attach_processor(proc, switch)
+    for u, v in raw["links"]:
+        net.add_link(u, v)
+    routes = [
+        make_route(
+            net,
+            Communication(source, dest),
+            switch_path,
+            link_choices=dict(enumerate(link_ids)),
+        )
+        for source, dest, switch_path, link_ids in raw["routes"]
+    ]
+    routing = FallbackRouting(TableRouting(routes), net)
+    rawcert = raw["certificate"]
+    certificate = ContentionCertificate(
+        contention_free=rawcert["contention_free"],
+        contention_set_size=rawcert["contention_set_size"],
+        conflict_set_size=rawcert["conflict_set_size"],
+        violations=tuple(
+            ContentionViolation(
+                event=ContentionEvent.of(
+                    Communication(s1, d1), Communication(s2, d2)
+                ),
+                links=tuple(links),
+            )
+            for (s1, d1, s2, d2), links in rawcert["violations"]
+        ),
+    )
+    topology = Topology(
+        name=f"generated-{pattern.name}",
+        network=net,
+        routing=routing,
+        coords=None,
+        kind="generated",
+    )
+    return GeneratedDesign(
+        topology=topology,
+        pattern=pattern,
+        analysis=CliqueAnalysis.of(pattern),
+        certificate=certificate,
+        switch_map={s: n for s, n in raw["switch_map"]},
+        pipe_links={
+            frozenset(pair): tuple(ids) for pair, ids in raw["pipe_links"]
+        },
+        seed=raw["seed"],
+        stats=DesignStats(**raw["stats"]),
+        result=None,
     )
 
 

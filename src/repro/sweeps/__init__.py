@@ -45,8 +45,10 @@ from repro.sweeps.patterns import (
 )
 
 _LAZY = {
+    "CRITERIA": "repro.sweeps.driver",
     "STUDY_TOPOLOGIES": "repro.sweeps.driver",
     "SweepConfig": "repro.sweeps.driver",
+    "criterion_latency": "repro.sweeps.driver",
     "detect_saturation": "repro.sweeps.driver",
     "latency_reference": "repro.sweeps.driver",
     "point_is_saturated": "repro.sweeps.driver",
@@ -58,6 +60,7 @@ _LAZY = {
     "SaturationCurve": "repro.sweeps.report",
     "SweepResult": "repro.sweeps.report",
     "curve_csv": "repro.sweeps.report",
+    "curve_plot": "repro.sweeps.report",
     "curve_table": "repro.sweeps.report",
     "degradation_table": "repro.sweeps.report",
 }

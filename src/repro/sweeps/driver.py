@@ -16,9 +16,13 @@ Saturation criteria (any one marks a point saturated):
   drain window (:attr:`LoadPoint.saturated`);
 * **throughput plateau** — accepted falls below
   ``plateau_fraction x offered``;
-* **latency slope** — average latency exceeds ``latency_factor x`` the
-  latency of the lowest-rate point (skipped when the reference point
-  delivered nothing).
+* **latency slope** — the criterion latency exceeds
+  ``latency_factor x`` the latency of the lowest-rate point (skipped
+  when the reference point delivered nothing).  Which latency feeds the
+  slope is the sweep's *criterion*: ``mean-knee`` (the default) knees on
+  the average latency, ``p99-knee`` on the p99 tail — tail latency
+  degrades before the mean near the knee, so ``p99-knee`` reports the
+  saturation point a latency-SLO would observe.
 """
 
 from __future__ import annotations
@@ -46,6 +50,16 @@ from repro.topology.routing import ShortestPathRouting
 #: the cache keys derived from them) are byte-stable.
 RATE_DECIMALS = 6
 
+#: Saturation criteria: which latency the slope test knees on.
+CRITERIA = ("mean-knee", "p99-knee")
+
+
+def criterion_latency(point: LoadPoint, criterion: str) -> float:
+    """The latency of one point under a saturation criterion."""
+    if criterion == "p99-knee":
+        return float(point.p99_latency)
+    return point.avg_latency
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -69,8 +83,14 @@ class SweepConfig:
     measure_cycles: int = 1500
     drain_cycles: int = 1500
     seed: int = 0
+    criterion: str = "mean-knee"
 
     def __post_init__(self) -> None:
+        if self.criterion not in CRITERIA:
+            raise SimulationError(
+                f"unknown saturation criterion {self.criterion!r}; "
+                f"choose from {CRITERIA}"
+            )
         if not 0 < self.min_rate <= self.max_rate:
             raise SimulationError(
                 f"need 0 < min_rate <= max_rate, got "
@@ -106,6 +126,7 @@ class SweepConfig:
             "warmup_cycles": self.warmup_cycles,
             "measure_cycles": self.measure_cycles,
             "drain_cycles": self.drain_cycles,
+            "criterion": self.criterion,
         }
 
 
@@ -115,13 +136,16 @@ def point_is_saturated(
     latency_factor: float = 4.0,
     plateau_fraction: float = 0.85,
     payload_fraction: float = 1.0,
+    criterion: str = "mean-knee",
 ) -> bool:
     """Whether one measured point meets any saturation criterion.
 
     ``payload_fraction`` corrects the plateau criterion for header
     overhead: offered load counts every flit, but accepted throughput
     counts payload flits only, so even an unloaded network accepts at
-    most ``payload_fraction x offered``.
+    most ``payload_fraction x offered``.  ``criterion`` picks the
+    latency the slope test reads (``base_latency`` must come from the
+    same criterion — :func:`latency_reference` takes care of that).
     """
     if point.saturated:
         return True
@@ -131,7 +155,7 @@ def point_is_saturated(
     ):
         return True
     if base_latency is not None and base_latency > 0:
-        return point.avg_latency > latency_factor * base_latency
+        return criterion_latency(point, criterion) > latency_factor * base_latency
     return False
 
 
@@ -139,9 +163,10 @@ def latency_reference(
     points: Sequence[LoadPoint],
     plateau_fraction: float = 0.85,
     payload_fraction: float = 1.0,
+    criterion: str = "mean-knee",
 ) -> Optional[float]:
-    """Latency baseline for the slope criterion: the average latency of
-    the lowest-rate measured point that delivered traffic and is not
+    """Latency baseline for the slope criterion: the criterion latency
+    of the lowest-rate measured point that delivered traffic and is not
     itself saturated by the backlog or plateau criteria.
 
     ``None`` when no such point exists (every measured point is already
@@ -156,7 +181,7 @@ def latency_reference(
             plateau_fraction=plateau_fraction,
             payload_fraction=payload_fraction,
         ):
-            return point.avg_latency
+            return criterion_latency(point, criterion)
     return None
 
 
@@ -165,6 +190,7 @@ def detect_saturation(
     latency_factor: float = 4.0,
     plateau_fraction: float = 0.85,
     payload_fraction: float = 1.0,
+    criterion: str = "mean-knee",
 ) -> Optional[int]:
     """Index of the first saturated point of a rate-sorted curve.
 
@@ -180,7 +206,7 @@ def detect_saturation(
     """
     if not points:
         return None
-    base = latency_reference(points, plateau_fraction, payload_fraction)
+    base = latency_reference(points, plateau_fraction, payload_fraction, criterion)
     for i, point in enumerate(points):
         if point_is_saturated(
             point,
@@ -188,6 +214,7 @@ def detect_saturation(
             latency_factor=latency_factor,
             plateau_fraction=plateau_fraction,
             payload_fraction=payload_fraction,
+            criterion=criterion,
         ):
             return i
     return None
@@ -298,7 +325,11 @@ def run_sweep(
 
         points = sorted_points()
         first = detect_saturation(
-            points, sweep.latency_factor, sweep.plateau_fraction, payload_fraction
+            points,
+            sweep.latency_factor,
+            sweep.plateau_fraction,
+            payload_fraction,
+            sweep.criterion,
         )
         saturation_rate: Optional[float] = None
         if first is not None:
@@ -322,7 +353,10 @@ def run_sweep(
                 # with the final detect_saturation pass, which sees the
                 # new probe as the curve's lowest point.
                 base = latency_reference(
-                    sorted_points(), sweep.plateau_fraction, payload_fraction
+                    sorted_points(),
+                    sweep.plateau_fraction,
+                    payload_fraction,
+                    sweep.criterion,
                 )
                 if point_is_saturated(
                     measured[mid],
@@ -330,6 +364,7 @@ def run_sweep(
                     sweep.latency_factor,
                     sweep.plateau_fraction,
                     payload_fraction,
+                    sweep.criterion,
                 ):
                     hi = mid
                 else:
@@ -339,7 +374,11 @@ def run_sweep(
 
         points = sorted_points()
         first = detect_saturation(
-            points, sweep.latency_factor, sweep.plateau_fraction, payload_fraction
+            points,
+            sweep.latency_factor,
+            sweep.plateau_fraction,
+            payload_fraction,
+            sweep.criterion,
         )
         unsaturated = points if first is None else points[:first]
         pool = unsaturated if unsaturated else points

@@ -173,6 +173,141 @@ def _max_rate(curve: SaturationCurve) -> float:
     return float(curve.params.get("max_rate", 0.0))
 
 
+#: (legend label, ASCII marker, SVG stroke) per percentile series, in
+#: draw order — later series win ASCII cell collisions, so the tail
+#: stays visible where the curves overlap.  The strokes are the
+#: Okabe-Ito colorblind-safe palette.
+_PLOT_SERIES = (
+    ("p50", "5", "#0072B2"),
+    ("p95", "9", "#E69F00"),
+    ("p99", "!", "#D55E00"),
+)
+
+
+def curve_plot(
+    curve: SaturationCurve,
+    fmt: str = "ascii",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Dependency-free chart of p50/p95/p99 latency vs offered rate.
+
+    ``fmt="ascii"`` renders a fixed-size character grid (``width`` x
+    ``height`` plot area) for terminals and logs; ``fmt="svg"`` emits a
+    standalone SVG document (hand-written markup, no plotting library).
+    Both mark the detected saturation rate when the sweep found one.
+    """
+    if fmt not in ("ascii", "svg"):
+        raise SimulationError(f"unknown plot format {fmt!r}; use 'ascii' or 'svg'")
+    if not curve.points:
+        raise SimulationError("cannot plot a curve with no measured points")
+    if fmt == "svg":
+        return _plot_svg(curve)
+    return _plot_ascii(curve, width, height)
+
+
+def _plot_geometry(curve: SaturationCurve):
+    xs = [p.offered_flits_per_node_cycle for p in curve.points]
+    series = [
+        (label, marker, stroke, [float(getattr(p, f"{label}_latency")) for p in curve.points])
+        for label, marker, stroke in _PLOT_SERIES
+    ]
+    xmin, xmax = min(xs), max(xs)
+    xspan = (xmax - xmin) or 1.0
+    ymax = max((max(values) for _, _, _, values in series), default=0.0) or 1.0
+    return xs, series, xmin, xmax, xspan, ymax
+
+
+def _plot_ascii(curve: SaturationCurve, width: int, height: int) -> str:
+    xs, series, xmin, xmax, xspan, ymax = _plot_geometry(curve)
+    grid = [[" "] * width for _ in range(height)]
+    for _, marker, _, values in series:
+        for x, y in zip(xs, values):
+            col = round((x - xmin) / xspan * (width - 1))
+            row = height - 1 - round(y / ymax * (height - 1))
+            grid[row][col] = marker
+    gutter = 9
+    lines = [
+        f"latency vs offered rate: {curve.pattern} on {curve.topology_name} "
+        f"({curve.num_nodes} nodes)",
+        "  ".join(f"{marker} = {label}" for label, marker, _ in _PLOT_SERIES),
+    ]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{ymax:.1f}"
+        elif i == height - 1:
+            label = "0.0"
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + "  " + "-" * width)
+    footer = [" "] * width
+    if curve.saturation_rate is not None and xmin <= curve.saturation_rate <= xmax:
+        footer[round((curve.saturation_rate - xmin) / xspan * (width - 1))] = "^"
+    lines.append(" " * gutter + "  " + "".join(footer).rstrip())
+    left = f"{xmin:g}"
+    right = f"{xmax:g} flits/node/cycle"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * gutter + "  " + left + " " * pad + right)
+    if curve.saturation_rate is not None:
+        lines.append(f"^ saturation at offered ~{curve.saturation_rate:.4f}")
+    return "\n".join(lines) + "\n"
+
+
+def _plot_svg(curve: SaturationCurve) -> str:
+    xs, series, xmin, xmax, xspan, ymax = _plot_geometry(curve)
+    w, h, ml, mr, mt, mb = 640, 400, 60, 20, 40, 50
+    pw, ph = w - ml - mr, h - mt - mb
+
+    def px(x: float) -> float:
+        return round(ml + (x - xmin) / xspan * pw, 2)
+
+    def py(y: float) -> float:
+        return round(mt + ph - y / ymax * ph, 2)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w} {h}" '
+        f'font-family="monospace" font-size="12">',
+        f'<rect width="{w}" height="{h}" fill="white"/>',
+        f'<text x="{ml}" y="20">latency vs offered rate: {curve.pattern} on '
+        f"{curve.topology_name} ({curve.num_nodes} nodes)</text>",
+        # Axes.
+        f'<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{mt + ph}" stroke="black"/>',
+        f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" stroke="black"/>',
+        f'<text x="{ml - 5}" y="{mt + 4}" text-anchor="end">{ymax:.1f}</text>',
+        f'<text x="{ml - 5}" y="{mt + ph + 4}" text-anchor="end">0</text>',
+        f'<text x="{ml}" y="{mt + ph + 16}" text-anchor="middle">{xmin:g}</text>',
+        f'<text x="{ml + pw}" y="{mt + ph + 16}" text-anchor="middle">{xmax:g}</text>',
+        f'<text x="{ml + pw // 2}" y="{h - 10}" text-anchor="middle">'
+        "offered rate (flits/node/cycle)</text>",
+    ]
+    if curve.saturation_rate is not None and xmin <= curve.saturation_rate <= xmax:
+        x = px(curve.saturation_rate)
+        parts.append(
+            f'<line x1="{x}" y1="{mt}" x2="{x}" y2="{mt + ph}" stroke="gray" '
+            'stroke-dasharray="4 3"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{mt - 5}" text-anchor="middle" fill="gray">'
+            f"saturation {curve.saturation_rate:.4f}</text>"
+        )
+    for i, (label, _, stroke, values) in enumerate(series):
+        pts = " ".join(f"{px(x)},{py(y)}" for x, y in zip(xs, values))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" stroke-width="2"/>'
+        )
+        for x, y in zip(xs, values):
+            parts.append(f'<circle cx="{px(x)}" cy="{py(y)}" r="3" fill="{stroke}"/>')
+        ly = mt + 16 * i
+        parts.append(
+            f'<line x1="{ml + pw - 70}" y1="{ly}" x2="{ml + pw - 50}" y2="{ly}" '
+            f'stroke="{stroke}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{ml + pw - 45}" y="{ly + 4}">{label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """A bundle of saturation curves from one study.

@@ -16,12 +16,25 @@ from repro.synthesis.conflict_graph import build_conflict_graph, conflict_edge_c
 from repro.synthesis.constraints import PAPER_MAX_DEGREE, DesignConstraints
 from repro.synthesis.fast_color import fast_color, fast_color_directional
 from repro.synthesis.generator import (
+    DesignStats,
     FallbackRouting,
     GeneratedDesign,
     generate_network,
 )
 from repro.synthesis.moves import ProcessorMove, annealed_moves, best_processor_move
 from repro.synthesis.multi import generate_network_for_set, merge_patterns
+
+# Imported after generator/constraints/annealing: portfolio pulls in
+# repro.eval.parallel, whose lazy reverse imports land back in those
+# (already initialized) modules.
+from repro.synthesis.portfolio import (
+    OBJECTIVES,
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioRun,
+    portfolio_cells,
+    synthesize_portfolio,
+)
 from repro.synthesis.reroute import (
     degree_excess,
     global_processor_moves,
@@ -39,12 +52,17 @@ from repro.synthesis.state import SynthesisState, normalize_path
 __all__ = [
     "AnnealSchedule",
     "DesignConstraints",
+    "DesignStats",
     "FallbackRouting",
     "GeneratedDesign",
+    "OBJECTIVES",
     "PAPER_MAX_DEGREE",
     "PartitionResult",
     "Partitioner",
     "PipeFinal",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "PortfolioRun",
     "ProcessorMove",
     "SimulatedAnnealing",
     "SynthesisState",
@@ -71,4 +89,6 @@ __all__ = [
     "normalize_path",
     "num_colors",
     "partition",
+    "portfolio_cells",
+    "synthesize_portfolio",
 ]

@@ -104,6 +104,13 @@ class SimulatedAnnealing(Generic[State]):
                     temp_series.append(step + 1, temperature)
                     energy_series.append(step + 1, current_e)
                 temperature *= sched.cooling
+        if record and sched.steps % sched.moves_per_temperature != 0:
+            # Flush the trailing partial temperature level: when steps is
+            # not a multiple of moves_per_temperature the loop above never
+            # reaches its recording branch for the final proposals, which
+            # would silently drop them from the series.
+            temp_series.append(sched.steps, temperature)
+            energy_series.append(sched.steps, current_e)
         return best, best_e
 
     def _accept_worse(self, delta: float, temperature: float) -> bool:

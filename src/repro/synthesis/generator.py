@@ -19,8 +19,25 @@ from repro.obs import DISABLED, Observability
 from repro.model.message import Communication
 from repro.model.pattern import CommunicationPattern
 from repro.model.theorem import ContentionCertificate, check_contention_free
+from repro.synthesis.annealing import AnnealSchedule
 from repro.synthesis.constraints import DesignConstraints
 from repro.synthesis.partition import PartitionResult, Partitioner
+
+
+@dataclass(frozen=True)
+class DesignStats:
+    """Partitioning counters a design carries after materialization.
+
+    Unlike :class:`~repro.synthesis.partition.PartitionResult` (whose
+    :class:`~repro.synthesis.state.SynthesisState` is too heavy to
+    serialize), these survive the JSON round-trip through
+    :func:`repro.eval.serialize.design_to_dict`, so a cache-rehydrated
+    design reports the same numbers as a freshly computed one.
+    """
+
+    bisections: int
+    route_moves: int
+    processor_moves: int
 from repro.topology.builders import Topology
 from repro.topology.network import Network
 from repro.topology.routing import (
@@ -43,21 +60,26 @@ class GeneratedDesign:
             fallback for communications outside the target pattern).
         pattern: the communication pattern the network was designed for.
         analysis: the clique analysis of that pattern.
-        result: the raw partitioning result (state, pipe widths, stats).
         certificate: Theorem 1 check of the pattern on this network.
         switch_map: synthesis switch id -> network switch id.
         pipe_links: pipe (network switch pair) -> link ids in color order.
         seed: the restart seed that produced this design.
+        stats: partitioning counters (serialization-stable).
+        result: the raw partitioning result (state, pipe widths) — only
+            present on freshly computed designs; ``None`` after a
+            rehydration from the synthesis cache, whose JSON payload
+            carries :attr:`stats` instead.
     """
 
     topology: Topology
     pattern: CommunicationPattern
     analysis: CliqueAnalysis
-    result: PartitionResult
     certificate: ContentionCertificate
     switch_map: Dict[int, int]
     pipe_links: Dict[FrozenSet[int], Tuple[int, ...]]
     seed: int
+    stats: DesignStats
+    result: Optional[PartitionResult] = None
 
     @property
     def network(self) -> Network:
@@ -107,6 +129,10 @@ def generate_network(
     reroute: bool = True,
     moves: bool = True,
     obs: Optional[Observability] = None,
+    anneal_schedule: Optional[AnnealSchedule] = None,
+    portfolio: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[object] = None,
 ) -> GeneratedDesign:
     """Run the full design methodology on a communication pattern.
 
@@ -124,6 +150,19 @@ def generate_network(
         obs: optional observability bundle — per-restart spans,
             bisection/route-move counters, and ``Fast_Color`` vs exact
             coloring gap events (``docs/OBSERVABILITY.md``).
+        anneal_schedule: run temperature-driven processor moves after
+            each bisection under this schedule (the paper's "simulated
+            annealing technique"; ``None`` keeps the Appendix's greedy
+            walk only).
+        portfolio: fan ``portfolio`` independent seeded runs (seeds
+            ``seed .. seed+portfolio-1``, one restart each) through the
+            cached eval runner instead of looping restarts in process;
+            the winner is selected deterministically — see
+            :func:`repro.synthesis.portfolio.synthesize_portfolio`.
+        jobs: worker count for the portfolio fan-out (``None``/1 serial,
+            ``<=0`` all cores); only meaningful with ``portfolio``.
+        cache: optional :class:`repro.eval.parallel.ResultCache` backing
+            the portfolio's synthesis cells.
 
     Returns:
         The best design found, by (total links, switch count).
@@ -131,6 +170,24 @@ def generate_network(
     if restarts < 1:
         raise SynthesisError(f"need at least one restart, got {restarts}")
     obs = obs if obs is not None else DISABLED
+    if portfolio is not None:
+        from repro.synthesis.portfolio import PortfolioConfig, synthesize_portfolio
+
+        config = PortfolioConfig(
+            size=portfolio,
+            seed_base=seed,
+            schedules=(anneal_schedule,),
+            reroute=reroute,
+            moves=moves,
+        )
+        return synthesize_portfolio(
+            pattern,
+            constraints=constraints,
+            config=config,
+            jobs=jobs,
+            cache=cache,
+            obs=obs,
+        ).design
     constraints = constraints or DesignConstraints()
     with obs.tracer.span("synthesis.analyze", pattern=pattern.name):
         analysis = CliqueAnalysis.of(pattern)
@@ -156,6 +213,7 @@ def generate_network(
                     seed=seed + i,
                     reroute=reroute,
                     moves=moves,
+                    anneal_schedule=anneal_schedule,
                     obs=obs,
                 ).run()
         except SynthesisError as exc:
@@ -248,11 +306,16 @@ def _materialize(
         topology=topology,
         pattern=pattern,
         analysis=analysis,
-        result=result,
         certificate=certificate,
         switch_map=switch_map,
         pipe_links=pipe_links,
         seed=seed,
+        stats=DesignStats(
+            bisections=result.bisections,
+            route_moves=result.route_moves,
+            processor_moves=result.processor_moves,
+        ),
+        result=result,
     )
 
 

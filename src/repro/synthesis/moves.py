@@ -113,6 +113,7 @@ def annealed_moves(
     steps: int = 80,
     initial_temperature: float = 3.0,
     cooling: float = 0.94,
+    moves_per_temperature: int = 1,
 ) -> int:
     """Temperature-driven processor moves between a split pair.
 
@@ -122,6 +123,12 @@ def annealed_moves(
     and accepts worsening ones with Boltzmann probability, restoring
     the best state visited — occasionally escaping plateaus the greedy
     walk cannot.  Returns the number of accepted moves.
+
+    ``moves_per_temperature`` holds the temperature for that many
+    proposals before each cooling step (an
+    :class:`~repro.synthesis.annealing.AnnealSchedule` maps onto these
+    four parameters); the default of 1 cools every proposal — the
+    historical behavior, byte-identical for existing callers.
 
     The walk runs inside one outer transaction: proposals are scored by
     preview (no mutation), only accepted moves are applied, the best
@@ -144,7 +151,7 @@ def annealed_moves(
         # membership, so it only needs rebuilding after an accepted
         # move — rejected proposals leave the state untouched.
         candidates = None
-        for _ in range(steps):
+        for step in range(steps):
             if candidates is None:
                 candidates = [
                     (p, sj) for p in sorted(state.switch_procs[si])
@@ -169,7 +176,8 @@ def annealed_moves(
                 if current < best:
                     best = current
                     best_mark = walk.savepoint()
-            temperature *= cooling
+            if (step + 1) % moves_per_temperature == 0:
+                temperature *= cooling
         walk.rollback_to(best_mark)
         walk.commit()
     return accepted

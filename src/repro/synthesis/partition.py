@@ -19,6 +19,7 @@ from repro.errors import SynthesisError
 from repro.model.cliques import CliqueAnalysis
 from repro.model.message import Communication
 from repro.obs import DISABLED, Observability
+from repro.synthesis.annealing import AnnealSchedule
 from repro.synthesis.best_route import best_route
 from repro.synthesis.constraints import DesignConstraints
 from repro.synthesis.moves import annealed_moves, best_processor_move
@@ -122,6 +123,7 @@ class Partitioner:
         reroute: bool = True,
         moves: bool = True,
         anneal: bool = False,
+        anneal_schedule: Optional[AnnealSchedule] = None,
         obs: Optional[Observability] = None,
         transactional: bool = True,
         memoize: bool = True,
@@ -131,7 +133,10 @@ class Partitioner:
         self.constraints.check_feasible(analysis.pattern.num_processes)
         self.reroute = reroute
         self.moves = moves
-        self.anneal = anneal
+        # An explicit schedule turns the annealed walk on; ``anneal=True``
+        # without one keeps the historical default parameters.
+        self.anneal = anneal or anneal_schedule is not None
+        self.anneal_schedule = anneal_schedule
         # A/B knobs for the hot-path machinery: ``transactional=False``
         # evaluates moves on deep snapshot copies and ``memoize=False``
         # recomputes every coloring — the pre-optimization behavior,
@@ -223,7 +228,20 @@ class Partitioner:
                 result.route_moves += moved
                 c_route_moves.inc(moved)
                 if self.anneal and self.moves:
-                    annealed = annealed_moves(state, si, sj, self.rng)
+                    sched = self.anneal_schedule
+                    if sched is None:
+                        annealed = annealed_moves(state, si, sj, self.rng)
+                    else:
+                        annealed = annealed_moves(
+                            state,
+                            si,
+                            sj,
+                            self.rng,
+                            steps=sched.steps,
+                            initial_temperature=sched.initial_temperature,
+                            cooling=sched.cooling,
+                            moves_per_temperature=sched.moves_per_temperature,
+                        )
                     result.processor_moves += annealed
                     c_proc_moves.inc(annealed)
                     moved = best_route(state, si, sj)

@@ -28,6 +28,7 @@ from repro.workloads.nas import (
     BENCHMARK_NAMES,
     PAPER_LARGE_SIZE,
     PAPER_SMALL_SIZES,
+    SCALED_SIZES,
     Benchmark,
     benchmark,
     bt,
@@ -35,6 +36,7 @@ from repro.workloads.nas import (
     fft,
     mg,
     paper_suite,
+    scaled_suite,
     sp,
 )
 from repro.workloads.synthetic import (
@@ -60,6 +62,7 @@ __all__ = [
     "PhaseProgramBuilder",
     "Program",
     "RecvEvent",
+    "SCALED_SIZES",
     "SendEvent",
     "Trace",
     "TraceRecord",
@@ -82,6 +85,7 @@ __all__ = [
     "read_trace",
     "recursive_doubling",
     "recursive_halving_reduce",
+    "scaled_suite",
     "shifted_all_to_all",
     "sp",
     "trace_program",

@@ -53,6 +53,11 @@ BENCHMARK_NAMES = ("bt", "cg", "fft", "mg", "sp")
 PAPER_SMALL_SIZES: Dict[str, int] = {"bt": 9, "cg": 8, "fft": 8, "mg": 8, "sp": 9}
 PAPER_LARGE_SIZE = 16
 
+# Synthetic scaling beyond the paper's 16-node evaluation (the ROADMAP
+# 64-256-node target).  Both sizes satisfy every builder's shape
+# requirement: perfect squares for BT/SP, powers of two for the rest.
+SCALED_SIZES: Tuple[int, ...] = (64, 256)
+
 _DEFAULT_JITTER = 0.08
 
 
@@ -427,3 +432,17 @@ def paper_suite(size: str = "small") -> Dict[str, Benchmark]:
     if size == "large":
         return {name: benchmark(name, PAPER_LARGE_SIZE) for name in BENCHMARK_NAMES}
     raise WorkloadError(f"size must be 'small' or 'large', got {size!r}")
+
+
+def scaled_suite(n: int = 64) -> Dict[str, Benchmark]:
+    """The suite synthetically scaled past the paper's evaluation.
+
+    The phase-program builders parameterize cleanly in ``n``, so the
+    scaled corpus is the same five benchmarks at 64 or 256 processes —
+    both perfect squares (BT/SP) and powers of two (CG/FFT/MG).  These
+    are the sizes the ROADMAP's 64-256-node synthesis target and the
+    portfolio benches measure against.
+    """
+    if n not in SCALED_SIZES:
+        raise WorkloadError(f"scaled suite sizes are {SCALED_SIZES}, got {n}")
+    return {name: benchmark(name, n) for name in BENCHMARK_NAMES}

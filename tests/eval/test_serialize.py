@@ -11,6 +11,8 @@ from repro.eval.serialize import (
     config_to_dict,
     decode_link_utilization,
     decode_resource,
+    design_from_dict,
+    design_to_dict,
     encode_link_utilization,
     encode_resource,
     loadpoint_from_dict,
@@ -99,6 +101,62 @@ class TestResultRoundTrip:
 
     def test_canonical_json_sorts_and_strips(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestDesignRoundTrip:
+    """Lossless GeneratedDesign serialization (the synthesis-cell payload)."""
+
+    @pytest.fixture(scope="class")
+    def design(self):
+        from repro.synthesis import generate_network
+        from repro.workloads import benchmark
+
+        pattern = benchmark("cg", 8).pattern
+        return pattern, generate_network(pattern, seed=0)
+
+    def test_round_trip_is_canonically_stable(self, design):
+        pattern, generated = design
+        raw = json.loads(json.dumps(design_to_dict(generated)))
+        restored = design_from_dict(raw, pattern)
+        assert canonical_json(design_to_dict(restored)) == canonical_json(
+            design_to_dict(generated)
+        )
+
+    def test_round_trip_preserves_structure(self, design):
+        pattern, generated = design
+        restored = design_from_dict(design_to_dict(generated), pattern)
+        assert restored.num_switches == generated.num_switches
+        assert restored.num_links == generated.num_links
+        assert restored.switch_map == generated.switch_map
+        assert restored.pipe_links == generated.pipe_links
+        assert restored.stats == generated.stats
+        assert restored.seed == generated.seed
+        assert (
+            restored.certificate.contention_free
+            == generated.certificate.contention_free
+        )
+        # Every route resolves to the same switch path.
+        for comm in pattern.communications:
+            assert (
+                restored.topology.routing.route(comm).hops
+                == generated.topology.routing.route(comm).hops
+            )
+
+    def test_partition_result_is_not_serialized(self, design):
+        """The in-process PartitionResult does not survive the JSON
+        round trip by design; the stats summary does."""
+        pattern, generated = design
+        assert generated.result is not None
+        restored = design_from_dict(design_to_dict(generated), pattern)
+        assert restored.result is None
+        assert restored.stats.bisections == generated.result.bisections
+
+    def test_pattern_name_mismatch_rejected(self, design):
+        from repro.workloads import benchmark
+
+        pattern, generated = design
+        with pytest.raises(SerializationError, match="pattern"):
+            design_from_dict(design_to_dict(generated), benchmark("mg", 8).pattern)
 
 
 class TestLoadPointRoundTrip:

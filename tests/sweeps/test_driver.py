@@ -5,9 +5,11 @@ import pytest
 from repro.errors import SimulationError
 from repro.simulator.openloop import LoadPoint
 from repro.sweeps.driver import (
+    CRITERIA,
     STUDY_TOPOLOGIES,
     SweepConfig,
     _initial_rates,
+    criterion_latency,
     detect_saturation,
     latency_reference,
     point_is_saturated,
@@ -27,8 +29,8 @@ FAST = SweepConfig(
 )
 
 
-def _pt(offered, accepted, latency, delivered=100, saturated=False):
-    return LoadPoint(offered, accepted, latency, delivered, saturated)
+def _pt(offered, accepted, latency, delivered=100, saturated=False, p99=0):
+    return LoadPoint(offered, accepted, latency, delivered, saturated, 0, 0, p99)
 
 
 class TestSweepConfig:
@@ -163,6 +165,62 @@ class TestPointIsSaturated:
 
     def test_zero_base_latency_ignored(self):
         assert not point_is_saturated(_pt(0.5, 0.5, 60.0), base_latency=0.0)
+
+
+class TestCriterion:
+    """The p99-knee saturation criterion (satellite: tail-latency knee)."""
+
+    def test_criterion_latency_selects_series(self):
+        point = _pt(0.5, 0.5, 30.0, p99=240)
+        assert criterion_latency(point, "mean-knee") == 30.0
+        assert criterion_latency(point, "p99-knee") == 240.0
+
+    def test_criteria_names_are_valid_configs(self):
+        for criterion in CRITERIA:
+            assert SweepConfig(criterion=criterion).criterion == criterion
+
+    def test_config_rejects_unknown_criterion(self):
+        with pytest.raises(SimulationError, match="criterion"):
+            SweepConfig(criterion="p42-knee")
+
+    def test_params_dict_records_criterion(self):
+        assert SweepConfig().params_dict()["criterion"] == "mean-knee"
+        assert (
+            SweepConfig(criterion="p99-knee").params_dict()["criterion"]
+            == "p99-knee"
+        )
+
+    def test_p99_knee_flags_tail_blowup_the_mean_hides(self):
+        """A curve whose mean stays flat while the tail explodes: the
+        default criterion sees nothing, the p99 knee fires."""
+        points = [
+            _pt(0.1, 0.1, 10.0, p99=14),
+            _pt(0.6, 0.58, 18.0, p99=320),  # mean < 4x base, p99 >> 4x
+        ]
+        assert detect_saturation(points) is None
+        assert detect_saturation(points, criterion="p99-knee") == 1
+
+    def test_latency_reference_uses_criterion(self):
+        points = [_pt(0.1, 0.1, 10.0, p99=22), _pt(0.5, 0.5, 30.0, p99=90)]
+        assert latency_reference(points) == 10.0
+        assert latency_reference(points, criterion="p99-knee") == 22.0
+
+    def test_point_is_saturated_uses_criterion(self):
+        point = _pt(0.5, 0.5, 60.0, p99=300)
+        assert not point_is_saturated(point, base_latency=20.0)
+        assert point_is_saturated(point, base_latency=20.0, criterion="p99-knee")
+
+    def test_sweep_records_criterion_in_artifact(self):
+        fast_p99 = SweepConfig(
+            criterion="p99-knee",
+            initial_points=3,
+            refine_iters=1,
+            warmup_cycles=100,
+            measure_cycles=400,
+            drain_cycles=600,
+        )
+        curve = run_sweep(mesh(2, 2), "uniform", sweep=fast_p99)
+        assert curve.params["criterion"] == "p99-knee"
 
 
 class TestRunSweep:

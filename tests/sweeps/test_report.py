@@ -11,6 +11,7 @@ from repro.sweeps.report import (
     SaturationCurve,
     SweepResult,
     curve_csv,
+    curve_plot,
     curve_table,
     degradation_table,
 )
@@ -82,6 +83,75 @@ class TestSaturationCurve:
         assert len(lines) == 1 + len(curve.points)
         first = lines[1].split(",")
         assert float(first[1]) == curve.points[0].accepted_flits_per_node_cycle
+
+
+class TestCurvePlot:
+    """The dependency-free p50/p95/p99 chart (satellite: --plot)."""
+
+    def test_ascii_has_legend_axes_and_markers(self):
+        text = curve_plot(_curve())
+        assert "tornado on mesh" in text
+        assert "5 = p50" in text and "9 = p95" in text and "! = p99" in text
+        for marker in ("5", "9", "!"):
+            assert marker in text
+        assert "flits/node/cycle" in text
+
+    def test_ascii_marks_saturation_rate(self):
+        text = curve_plot(_curve())
+        assert "^" in text
+        assert "saturation at offered ~0.5500" in text
+
+    def test_ascii_unsaturated_curve_has_no_marker_line(self):
+        text = curve_plot(_curve(saturation_rate=None, saturated=False))
+        assert "saturation at" not in text
+
+    def test_ascii_is_deterministic(self):
+        assert curve_plot(_curve()) == curve_plot(_curve())
+
+    def test_ascii_respects_dimensions(self):
+        text = curve_plot(_curve(), width=32, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 8
+        assert all(len(line.split("|", 1)[1]) == 32 for line in rows)
+
+    def test_svg_is_wellformed_with_three_series(self):
+        import xml.etree.ElementTree as ET
+
+        text = curve_plot(_curve(), fmt="svg")
+        root = ET.fromstring(text)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert root.tag == f"{ns}svg"
+        polylines = root.findall(f"{ns}polyline")
+        assert len(polylines) == 3
+        strokes = {p.get("stroke") for p in polylines}
+        assert strokes == {"#0072B2", "#E69F00", "#D55E00"}
+        # One circle per (series, point) plus the dashed saturation line.
+        assert len(root.findall(f"{ns}circle")) == 3 * len(_curve().points)
+        assert any(
+            line.get("stroke-dasharray") for line in root.findall(f"{ns}line")
+        )
+
+    def test_svg_omits_saturation_line_when_unsaturated(self):
+        import xml.etree.ElementTree as ET
+
+        text = curve_plot(_curve(saturation_rate=None, saturated=False), fmt="svg")
+        root = ET.fromstring(text)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert not any(
+            line.get("stroke-dasharray") for line in root.findall(f"{ns}line")
+        )
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SimulationError, match="plot format"):
+            curve_plot(_curve(), fmt="png")
+
+    def test_empty_curve_rejected(self):
+        empty = _curve(
+            points=(), saturation_rate=None, saturated=False,
+            saturation_throughput=0.0,
+        )
+        with pytest.raises(SimulationError, match="no measured points"):
+            curve_plot(empty)
 
 
 class TestSweepResult:

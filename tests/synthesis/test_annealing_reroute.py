@@ -69,6 +69,40 @@ class TestSimulatedAnnealing:
 
         assert make().run(50) == make().run(50)
 
+    @staticmethod
+    def _series_steps(steps, moves_per_temperature):
+        from repro.obs import enabled_observability
+
+        obs = enabled_observability()
+        SimulatedAnnealing(
+            energy=lambda x: float(x * x),
+            neighbor=lambda x, rng: x + rng.choice((-1, 1)),
+            schedule=AnnealSchedule(
+                steps=steps, moves_per_temperature=moves_per_temperature
+            ),
+            seed=0,
+            obs=obs,
+            label="t.series",
+        ).run(5)
+        snap = obs.metrics.snapshot()["series"]
+        return (
+            [x for x, _ in snap["t.series.temperature"]],
+            [x for x, _ in snap["t.series.energy"]],
+        )
+
+    def test_series_flushes_trailing_partial_temperature_level(self):
+        """Regression: with steps not divisible by moves_per_temperature,
+        the final partial level's proposals were silently dropped from
+        the recorded temperature/energy series."""
+        temp_steps, energy_steps = self._series_steps(25, 10)
+        assert temp_steps == [10, 20, 25]
+        assert energy_steps == [10, 20, 25]
+
+    def test_series_unchanged_when_steps_divide_evenly(self):
+        temp_steps, energy_steps = self._series_steps(30, 10)
+        assert temp_steps == [10, 20, 30]
+        assert energy_steps == [10, 20, 30]
+
 
 def _dense_stuck_state():
     """A 6-process pattern where each process talks to many partners,

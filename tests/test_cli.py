@@ -63,6 +63,49 @@ class TestSynthesizeCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPortfolioSynthesis:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["synthesize", "--benchmark", "cg"])
+        assert args.portfolio is None
+        assert args.seed_base is None
+        assert args.objective == "links"
+        assert args.target_objective is None
+
+    def test_portfolio_prints_run_table_and_winner(self, capsys):
+        rc = main(
+            [
+                "synthesize", "--benchmark", "cg", "--nodes", "8",
+                "--portfolio", "2", "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "synth:cg-8:s0" in out and "synth:cg-8:s1" in out
+        assert "*" in out  # winner marker
+        assert "contention-free: True" in out
+
+    def test_seed_base_shifts_the_grid(self, capsys):
+        rc = main(
+            [
+                "synthesize", "--benchmark", "cg", "--nodes", "8",
+                "--portfolio", "2", "--seed-base", "5", "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "synth:cg-8:s5" in out and "synth:cg-8:s6" in out
+
+    def test_all_infeasible_portfolio_is_clean_error(self, capsys):
+        rc = main(
+            [
+                "synthesize", "--benchmark", "cg", "--nodes", "8",
+                "--portfolio", "2", "--max-degree", "2", "--no-cache",
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSimulateCommand:
     def test_simulate_mesh(self, capsys):
         rc = main(
@@ -206,6 +249,38 @@ class TestSweepCommand:
         for point in payload["points"]:
             assert point["p50_latency"] <= point["p95_latency"] <= point["p99_latency"]
         assert cpath.read_text().startswith("offered,accepted,")
+
+    def test_criterion_recorded_in_artifact(self, tmp_path):
+        import json
+
+        jpath = tmp_path / "curve.json"
+        rc = main(
+            self.FAST + ["--criterion", "p99-knee", "--json", str(jpath)]
+        )
+        assert rc == 0
+        assert json.loads(jpath.read_text())["params"]["criterion"] == "p99-knee"
+
+    def test_unknown_criterion_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--criterion", "p42-knee"])
+
+    def test_plot_writes_ascii_chart(self, tmp_path, capsys):
+        path = tmp_path / "curve.txt"
+        rc = main(self.FAST + ["--plot", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert "latency vs offered rate" in text
+        assert "5 = p50" in text
+        assert str(path) in capsys.readouterr().err
+
+    def test_plot_svg_extension_switches_format(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        path = tmp_path / "curve.svg"
+        rc = main(self.FAST + ["--plot", str(path)])
+        assert rc == 0
+        root = ET.fromstring(path.read_text())
+        assert root.tag.endswith("svg")
 
     def test_strict_pattern_violation_is_clean_error(self, capsys):
         rc = main(self.FAST + ["--pattern", "transpose", "--strict-patterns"])

@@ -1,11 +1,12 @@
-"""mypy spot-check of the sweep subsystem.
+"""mypy spot-check of the sweep and synthesis subsystems.
 
 CI installs mypy via the ``test`` extra and this test gates the
-annotations of ``repro.sweeps`` and ``repro.simulator.openloop`` (the
-modules whose signatures the sweep artifacts depend on).  The local
-toolchain may not carry mypy — the test skips rather than fails, so a
-plain ``pytest`` run never needs network access.  Scope and strictness
-live in ``[tool.mypy]`` in ``pyproject.toml``.
+annotations of ``repro.sweeps``, ``repro.simulator.openloop``,
+``repro.synthesis`` and ``repro.eval.parallel`` (the modules whose
+signatures the sweep artifacts and the portfolio cache keys depend
+on).  The local toolchain may not carry mypy — the test skips rather
+than fails, so a plain ``pytest`` run never needs network access.
+Scope and strictness live in ``[tool.mypy]`` in ``pyproject.toml``.
 """
 
 import subprocess
@@ -18,7 +19,12 @@ pytest.importorskip("mypy", reason="mypy is a CI-only dependency")
 
 ROOT = Path(__file__).resolve().parent.parent
 
-SPOT_CHECK = ("src/repro/sweeps", "src/repro/simulator/openloop.py")
+SPOT_CHECK = (
+    "src/repro/sweeps",
+    "src/repro/simulator/openloop.py",
+    "src/repro/synthesis",
+    "src/repro/eval/parallel.py",
+)
 
 
 def test_sweep_subsystem_typechecks():
