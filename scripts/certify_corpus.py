@@ -18,6 +18,8 @@ With ``--dynamic`` each certificate is additionally cross-validated
 against the flit-level engine (zero contention stalls when certified
 contention-free, zero deadlock recoveries when certified
 deadlock-free).  Exits nonzero on any gate failure or dynamic mismatch.
+``--summary PATH`` additionally appends the outcome as a markdown table
+(CI points it at ``$GITHUB_STEP_SUMMARY``).
 
 Usage::
 
@@ -68,12 +70,18 @@ def main() -> int:
         "--dynamic", action="store_true",
         help="also cross-validate each certificate against the engine",
     )
+    parser.add_argument(
+        "--summary", type=Path, default=None, metavar="PATH",
+        help="append a markdown outcome table to PATH "
+        "(point at $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = parser.parse_args()
 
     if args.out_dir is not None:
         args.out_dir.mkdir(parents=True, exist_ok=True)
 
     failures = []
+    rows = []
     started = time.perf_counter()
     for name, n, kind in corpus_entries(args.benchmarks, args.sizes):
         setup = prepare(name, n, seed=args.seed)
@@ -113,6 +121,15 @@ def main() -> int:
         if problems:
             failures.append((f"{name}-{n}-{kind}", problems))
             line += "  <-- GATE FAILURE: " + "; ".join(problems)
+        rows.append(
+            (
+                f"{name}-{n}",
+                kind,
+                "✅" if cert.contention_free else "⚠️",
+                cert.deadlock_method if cert.deadlock_free else "❌",
+                "❌ " + "; ".join(problems) if problems else "✅ certified",
+            )
+        )
         print(line, flush=True)
         if problems:
             print(cert.render(), flush=True)
@@ -124,11 +141,31 @@ def main() -> int:
         f"in {elapsed:.1f}s",
         flush=True,
     )
+    if args.summary is not None:
+        write_summary(args.summary, rows, len(failures), total, elapsed)
     if failures:
         for entry, problems in failures:
             print(f"FAILED {entry}: {', '.join(problems)}", file=sys.stderr)
         return 1
     return 0
+
+
+def write_summary(path: Path, rows, failed: int, total: int, elapsed: float) -> None:
+    """Append the corpus outcome to ``path`` as a markdown table."""
+    lines = [
+        f"### Certification corpus: {total - failed}/{total} certified "
+        f"in {elapsed:.1f}s {'❌' if failed else '✅'}",
+        "",
+        "| network | topology | contention-free | deadlock-free | gate |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines += [
+        f"| {entry} | {kind} | {contention} | {deadlock} | {gate} |"
+        for entry, kind, contention, deadlock, gate in rows
+    ]
+    lines.append("")
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":

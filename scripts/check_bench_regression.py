@@ -14,7 +14,9 @@ Two kinds of check, per case of a ``BENCH_*.json`` snapshot (see
   loaded CI runner.
 
 Exits nonzero on any missing case, deterministic mismatch, or
-wall-time regression.
+wall-time regression.  ``--summary PATH`` additionally appends the
+outcome as a GitHub-flavored markdown table (CI points it at
+``$GITHUB_STEP_SUMMARY``).
 
 Usage::
 
@@ -52,6 +54,11 @@ def main() -> int:
         "--max-regression", type=float, default=0.20,
         help="allowed fractional calibrated wall-time increase (default 0.20)",
     )
+    parser.add_argument(
+        "--summary", type=Path, default=None, metavar="PATH",
+        help="append a markdown outcome table to PATH "
+        "(point at $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = parser.parse_args()
 
     baseline = _load(args.baseline)
@@ -64,10 +71,12 @@ def main() -> int:
         return 1
 
     failures = 0
+    rows = []
     for name, base_case in sorted(baseline["cases"].items()):
         fresh_case = fresh["cases"].get(name)
         if fresh_case is None:
             print(f"FAIL {name}: missing from fresh snapshot")
+            rows.append((name, "—", "—", "—", "FAIL (missing)"))
             failures += 1
             continue
         if fresh_case["deterministic"] != base_case["deterministic"]:
@@ -76,6 +85,7 @@ def main() -> int:
                 f"  baseline: {base_case['deterministic']}\n"
                 f"  fresh:    {fresh_case['deterministic']}"
             )
+            rows.append((name, "—", "—", "—", "FAIL (deterministic drift)"))
             failures += 1
             continue
         base_cal = base_case["calibrated"]
@@ -88,16 +98,45 @@ def main() -> int:
             f"{base_cal:.2f}x ({ratio - 1.0:+.0%} change, "
             f"limit {limit:.2f}x)"
         )
+        rows.append(
+            (
+                name,
+                f"{base_cal:.2f}x",
+                f"{fresh_cal:.2f}x",
+                f"{ratio - 1.0:+.0%}",
+                "✅ ok" if verdict == "ok" else "❌ FAIL",
+            )
+        )
         if fresh_cal > limit:
             failures += 1
     for name in sorted(set(fresh["cases"]) - set(baseline["cases"])):
         print(f"note: case {name} is new (not in baseline)")
 
+    if args.summary is not None:
+        write_summary(args.summary, baseline.get("kind", "?"), rows, failures)
     if failures:
         print(f"{failures} benchmark gate failure(s)")
         return 1
     print("benchmark gates passed")
     return 0
+
+
+def write_summary(path: Path, kind: str, rows, failures: int) -> None:
+    """Append the gate outcome to ``path`` as a markdown table."""
+    lines = [
+        f"### Benchmark gate: `{kind}` "
+        f"({'❌ ' + str(failures) + ' failure(s)' if failures else '✅ passed'})",
+        "",
+        "| case | baseline | fresh | change | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines += [
+        f"| {name} | {base} | {fresh} | {change} | {verdict} |"
+        for name, base, fresh, change, verdict in rows
+    ]
+    lines.append("")
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":

@@ -47,3 +47,7 @@ class FloorplanError(ReproError):
 
 class FaultError(ReproError):
     """A fault specification or campaign is invalid for its network."""
+
+
+class ServiceError(ReproError):
+    """A job spec or service request is invalid (see :mod:`repro.service`)."""

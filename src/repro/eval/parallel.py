@@ -114,6 +114,11 @@ class ResultCache:
     def setups_dir(self) -> Path:
         return self.root / "setups"
 
+    @property
+    def jobs_dir(self) -> Path:
+        """Completed service job bundles (see :mod:`repro.service`)."""
+        return self.root / "jobs"
+
     def _atomic_write(self, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
@@ -144,6 +149,30 @@ class ResultCache:
             canonical_json(payload).encode("utf-8"),
         )
 
+    # -- service job bundles (JSON) -----------------------------------
+
+    def get_bundle(self, key: str) -> Optional[dict]:
+        """A completed job's result bundle, or ``None`` on a miss."""
+        path = self.jobs_dir / f"{key}.json"
+        try:
+            import json
+
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_bundle(self, key: str, bundle: dict) -> None:
+        self._atomic_write(
+            self.jobs_dir / f"{key}.json",
+            canonical_json(bundle).encode("utf-8"),
+        )
+
     # -- benchmark setups (pickle) ------------------------------------
 
     def get_setup(self, key: str):
@@ -170,7 +199,7 @@ class ResultCache:
 
     def _entries(self) -> List[Path]:
         out: List[Path] = []
-        for d in (self.results_dir, self.setups_dir):
+        for d in (self.results_dir, self.setups_dir, self.jobs_dir):
             if d.is_dir():
                 out.extend(p for p in d.iterdir() if p.is_file())
         return out
@@ -186,16 +215,79 @@ class ResultCache:
                 pass
         return removed
 
+    @staticmethod
+    def _classify_result(payload: dict) -> str:
+        """Which cell family produced a cached result payload.
+
+        :class:`SynthesisCell` payloads carry either a serialized design
+        or an ``infeasible`` status; every other shape (simulation
+        results, resilience outcomes, open-loop points) is an eval
+        cell.  Classification inspects content — the payload bytes are
+        pinned by the determinism goldens, so no marker field can be
+        added without invalidating them.
+        """
+        if not isinstance(payload, dict):
+            return "eval"
+        if "design" in payload or payload.get("status") == "infeasible":
+            return "synthesis"
+        return "eval"
+
     def stats(self) -> dict:
-        """Entry counts and total size, for ``repro cache info``."""
+        """Entry counts and total size, for ``repro cache info``.
+
+        Result payloads are broken out by cell family: ``results`` /
+        ``bytes`` stay the historical totals, while ``eval_results``,
+        ``synthesis_results`` (with ``synthesis_ok`` /
+        ``synthesis_infeasible`` and ``synthesis_bytes``) and the
+        service-job ``bundles`` section enumerate what the totals are
+        made of.
+        """
+        import json
+
+        counts = {
+            "eval_results": 0,
+            "eval_bytes": 0,
+            "synthesis_results": 0,
+            "synthesis_ok": 0,
+            "synthesis_infeasible": 0,
+            "synthesis_bytes": 0,
+            "bundles": 0,
+            "bundle_bytes": 0,
+        }
         entries = self._entries()
-        results = sum(1 for p in entries if p.suffix == ".json")
-        setups = sum(1 for p in entries if p.suffix == ".pkl")
+        results = 0
+        setups = 0
+        for path in entries:
+            if path.suffix == ".pkl":
+                setups += 1
+                continue
+            size = path.stat().st_size
+            if path.parent == self.jobs_dir:
+                counts["bundles"] += 1
+                counts["bundle_bytes"] += size
+                continue
+            results += 1
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = None
+            family = self._classify_result(payload) if payload is not None else "eval"
+            if family == "synthesis":
+                counts["synthesis_results"] += 1
+                counts["synthesis_bytes"] += size
+                if payload is not None and payload.get("status") == "infeasible":
+                    counts["synthesis_infeasible"] += 1
+                else:
+                    counts["synthesis_ok"] += 1
+            else:
+                counts["eval_results"] += 1
+                counts["eval_bytes"] += size
         return {
             "root": str(self.root),
             "results": results,
             "setups": setups,
             "bytes": sum(p.stat().st_size for p in entries),
+            **counts,
         }
 
 

@@ -1,0 +1,63 @@
+"""``repro.service`` — synthesis-as-a-service: the async job API.
+
+The design-tool flow the paper describes (specify a well-behaved
+communication pattern, get back a custom interconnect with a certified
+schedule) served over HTTP (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.spec` — job-spec canonicalization, content-
+  addressed job keys over the existing cell cache keys, and bundle
+  assembly;
+* :mod:`repro.service.manager` — single-flight dedupe and the worker
+  pool;
+* :mod:`repro.service.http` / :mod:`repro.service.server` — the
+  stdlib-only asyncio HTTP front end (``repro serve``);
+* :mod:`repro.service.client` — the blocking client
+  (``repro submit``).
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.manager import (
+    DEDUPE_BUNDLE_CACHE,
+    DEDUPE_COMPLETED,
+    DEDUPE_INFLIGHT,
+    DEDUPE_MISS,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobManager,
+    JobRecord,
+)
+from repro.service.server import Service, ServiceConfig, ServiceThread, run_serve
+from repro.service.spec import (
+    JOB_KINDS,
+    SERVICE_SCHEMA,
+    canonicalize_spec,
+    execute_spec,
+    job_key,
+)
+
+__all__ = [
+    "DEDUPE_BUNDLE_CACHE",
+    "DEDUPE_COMPLETED",
+    "DEDUPE_INFLIGHT",
+    "DEDUPE_MISS",
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "JobManager",
+    "JobRecord",
+    "PENDING",
+    "RUNNING",
+    "SERVICE_SCHEMA",
+    "Service",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "canonicalize_spec",
+    "execute_spec",
+    "job_key",
+    "run_serve",
+]

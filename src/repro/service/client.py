@@ -1,0 +1,110 @@
+"""Blocking HTTP client for the job API (``repro submit``'s engine).
+
+Stdlib-only (:mod:`urllib.request`), so any machine with Python can
+submit work to a running service.  All methods raise
+:class:`~repro.errors.ServiceError` with the server's error message on
+a non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request as UrlRequest
+from urllib.request import urlopen
+
+from repro.errors import ServiceError
+
+#: Job states the client considers terminal.
+_TERMINAL = ("done", "failed")
+
+
+class ServiceClient:
+    """Talks to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw HTTP ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> bytes:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = UrlRequest(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            try:
+                detail = json.loads(detail)["error"]
+            except (ValueError, KeyError, TypeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: {detail}"
+            )
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            )
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> Any:
+        raw = self._request(method, path, payload)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"service returned invalid JSON for {path}: {exc}")
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def submit(self, spec: dict) -> Dict[str, Any]:
+        """Submit a workload spec; returns the submission receipt
+        (``job_id``, ``state``, ``dedupe``)."""
+        return self._json("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The canonical result-bundle bytes — the byte-identity
+        surface of the service determinism contract."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._json("POST", "/shutdown")
+
+    def wait(
+        self, job_id: str, poll_interval: float = 0.2, timeout: float = 600.0
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final status document.  Raises on timeout — never on a failed
+        job (the caller inspects ``state``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in _TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,150 @@
+"""A minimal HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The service deliberately avoids third-party web frameworks — the repo
+ships zero hard dependencies — so this module implements exactly the
+subset the job API needs: request-line + header parsing, a
+``Content-Length``-framed body, JSON helpers, and one-response-per-
+connection semantics (``Connection: close``).  Keep-alive, chunked
+transfer, and TLS are out of scope; a production deployment would sit
+this behind a reverse proxy that provides them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote, urlsplit
+
+#: Bound on the request head (request line + headers) and body.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with an HTTP error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON; raises :class:`HttpError` 400 on
+        anything unparsable."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on a closed socket.
+
+    Raises :class:`HttpError` on malformed framing or oversized
+    payloads.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    path = unquote(urlsplit(target).path)
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    """A full one-shot HTTP response (``Connection: close``)."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: object) -> bytes:
+    """A JSON response; payload is rendered with sorted keys so service
+    responses are stable for tests and diffing (result bundles are
+    served from their precomputed canonical bytes instead — see
+    :mod:`repro.service.server`)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    return response_bytes(status, body)
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+def split_job_path(path: str) -> Optional[Tuple[str, Optional[str]]]:
+    """Decompose ``/jobs/<id>[/result]`` → ``(job_id, tail)``.
+
+    Returns ``None`` for paths outside the ``/jobs/`` tree; the tail is
+    ``None`` for a bare status path.
+    """
+    if not path.startswith("/jobs/"):
+        return None
+    rest = path[len("/jobs/"):]
+    if not rest:
+        return None
+    job_id, _, tail = rest.partition("/")
+    if not job_id:
+        return None
+    return job_id, (tail or None)

@@ -1,0 +1,313 @@
+"""The job manager: single-flight scheduling over a worker pool.
+
+One :class:`JobManager` owns every job the service has seen, keyed by
+the content address of its canonical spec (:func:`~repro.service.spec.job_key`).
+Three layers of deduplication, consulted in order at submit time:
+
+1. **in-flight / in-memory** — a job with the same key that is pending,
+   running, or already done attaches the new submission to the existing
+   record (single-flight: N concurrent identical submissions cost one
+   execution);
+2. **on-disk bundle store** — ``.repro-cache/jobs/<key>.json`` holds
+   completed bundles, so a restarted service (or another service
+   sharing the cache directory) serves repeats without recomputing;
+3. **cell cache** — even a cold job's cells run through the
+   content-addressed result cache, so overlapping *different* jobs
+   share their common cells.
+
+Execution happens on a :class:`~concurrent.futures.ThreadPoolExecutor`:
+cells release the GIL in subprocess fan-out mode (``jobs > 1``) and the
+simulator is pure Python either way, so threads exist for scheduling
+latency, not parallel speedup — a cold job saturates cores through the
+``run_cells`` process pool, not through service threads.
+
+Determinism: a job's ``bundle_bytes`` are the canonical JSON of its
+bundle, computed once and served verbatim to every requester — the
+byte-identity surface the service tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.eval.parallel import CellOutcome, ResultCache
+from repro.eval.serialize import canonical_json
+from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.service.spec import canonicalize_spec, execute_spec, job_key
+
+#: Job lifecycle states, in order.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: How a submission was satisfied (the ``dedupe`` field of a status).
+DEDUPE_MISS = "miss"
+DEDUPE_INFLIGHT = "in-flight"
+DEDUPE_COMPLETED = "completed"
+DEDUPE_BUNDLE_CACHE = "bundle-cache"
+
+#: Spans this noisy or noisier are not streamed into job progress
+#: feeds (per-cell synthesis internals would swamp the event list).
+_MAX_STREAMED_DEPTH = 3
+
+
+class JobRecord:
+    """One deduplicated job: spec, state, progress feed, result bundle."""
+
+    def __init__(self, key: str, spec: Dict[str, Any], dedupe: str) -> None:
+        self.job_id = key
+        self.spec = spec
+        self.dedupe = dedupe
+        self.state = PENDING
+        self.error: Optional[str] = None
+        self.bundle_bytes: Optional[bytes] = None
+        self.submissions = 1
+        self.created_s = time.time()
+        self.finished_s: Optional[float] = None
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+
+    # -- progress feed (appended from worker threads) ------------------
+
+    def add_event(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(dict(event, seq=len(self._events)))
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    # -- state transitions ---------------------------------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = RUNNING
+
+    def complete(self, bundle_bytes: bytes) -> None:
+        with self._lock:
+            self.bundle_bytes = bundle_bytes
+            self.state = DONE
+            self.finished_s = time.time()
+
+    def fail(self, error: str) -> None:
+        with self._lock:
+            self.error = error
+            self.state = FAILED
+            self.finished_s = time.time()
+
+    def status_dict(self) -> dict:
+        """The ``GET /jobs/<id>`` document."""
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "kind": self.spec["kind"],
+                "state": self.state,
+                "dedupe": self.dedupe,
+                "submissions": self.submissions,
+                "error": self.error,
+                "spec": self.spec,
+                "events": [dict(e, seq=i) for i, e in enumerate(self._events)],
+            }
+
+
+class JobManager:
+    """Owns job records, the worker pool, and the service metrics."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        jobs: Optional[int] = None,
+        workers: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be positive, got {workers}")
+        self.cache = cache
+        self.jobs = jobs
+        self.max_workers = workers
+        self.metrics = MetricsRegistry(enabled=True)
+        self._records: Dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._closed = False
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, raw_spec: Any) -> Tuple[JobRecord, str]:
+        """Canonicalize, dedupe, and (when cold) schedule one spec.
+
+        Returns the job record plus *this submission's* disposition —
+        one of :data:`DEDUPE_MISS` (newly scheduled),
+        :data:`DEDUPE_INFLIGHT` (attached to a pending/running job),
+        :data:`DEDUPE_COMPLETED` (an in-memory finished job), or
+        :data:`DEDUPE_BUNDLE_CACHE` (rehydrated from the on-disk bundle
+        store).  Raises :class:`~repro.errors.ServiceError` on a
+        malformed spec or after :meth:`shutdown`.
+        """
+        spec = canonicalize_spec(raw_spec)
+        key = job_key(spec)
+        m = self.metrics
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is shutting down")
+            m.counter("service.jobs.submitted").inc()
+            record = self._records.get(key)
+            if record is not None:
+                record.submissions += 1
+                if record.state in (PENDING, RUNNING):
+                    m.counter("service.jobs.deduped_inflight").inc()
+                    return record, DEDUPE_INFLIGHT
+                m.counter("service.jobs.deduped_completed").inc()
+                return record, DEDUPE_COMPLETED
+            bundle = self.cache.get_bundle(key) if self.cache is not None else None
+            if bundle is not None:
+                record = JobRecord(key, spec, DEDUPE_BUNDLE_CACHE)
+                record.complete(canonical_json(bundle).encode("utf-8"))
+                record.add_event({"type": "state", "state": DONE,
+                                  "source": "bundle-cache"})
+                m.counter("service.jobs.bundle_hits").inc()
+                self._records[key] = record
+                return record, DEDUPE_BUNDLE_CACHE
+            record = JobRecord(key, spec, DEDUPE_MISS)
+            self._records[key] = record
+            m.counter("service.jobs.scheduled").inc()
+            self._pool.submit(self._run, record)
+            return record, DEDUPE_MISS
+
+    # -- execution (worker threads) ------------------------------------
+
+    def _run(self, record: JobRecord) -> None:
+        record.mark_running()
+        record.add_event({"type": "state", "state": RUNNING})
+        with self._lock:
+            self._busy += 1
+        obs = self._job_observability(record)
+        try:
+            bundle = execute_spec(
+                record.spec,
+                cache=self.cache,
+                jobs=self.jobs,
+                progress=self._progress_callback(record),
+                obs=obs,
+            )
+        except ReproError as exc:
+            record.fail(str(exc))
+            record.add_event({"type": "state", "state": FAILED, "error": str(exc)})
+            with self._lock:
+                self.metrics.counter("service.jobs.failed").inc()
+        else:
+            encoded = canonical_json(bundle).encode("utf-8")
+            if self.cache is not None:
+                self.cache.put_bundle(record.job_id, bundle)
+            record.complete(encoded)
+            record.add_event({"type": "state", "state": DONE})
+            with self._lock:
+                self.metrics.counter("service.jobs.executed").inc()
+        finally:
+            with self._lock:
+                self._busy -= 1
+                self._merge_cell_counters(obs)
+
+    def _job_observability(self, record: JobRecord) -> Observability:
+        """A per-job enabled bundle whose tracer streams shallow spans
+        into the job's progress feed as they complete."""
+
+        def sink(event: dict) -> None:
+            if event.get("depth", 0) < _MAX_STREAMED_DEPTH:
+                record.add_event(
+                    {
+                        "type": event["type"],
+                        "name": event["name"],
+                        "seconds": round(event.get("dur_s", 0.0), 6),
+                        "args": event.get("args", {}),
+                    }
+                )
+
+        return Observability(
+            metrics=MetricsRegistry(enabled=True),
+            tracer=Tracer(enabled=True, sink=sink),
+        )
+
+    def _progress_callback(self, record: JobRecord):
+        def progress(outcome: CellOutcome, index: int, total: int) -> None:
+            record.add_event(
+                {
+                    "type": "cell",
+                    "label": outcome.label,
+                    "cache_hit": outcome.cache_hit,
+                    "seconds": round(outcome.seconds, 6),
+                    "index": index,
+                    "total": total,
+                }
+            )
+
+        return progress
+
+    def _merge_cell_counters(self, obs: Observability) -> None:
+        """Fold one job's coordinator-side cell counters into the
+        service totals (callers hold ``self._lock``)."""
+        for name in ("eval.cache.lookups", "eval.cache.hits", "eval.cache.misses"):
+            value = obs.metrics.counter(name).value
+            if value:
+                self.metrics.counter(name).inc(value)
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` document: dedupe counters, cell cache hit
+        ratio, queue depth, and worker utilization."""
+        with self._lock:
+            snap = self.metrics.snapshot()["counters"]
+            counters = {
+                name.split(".", 2)[2]: value
+                for name, value in snap.items()
+                if name.startswith("service.jobs.")
+            }
+            cells = {
+                "lookups": snap.get("eval.cache.lookups", 0),
+                "hits": snap.get("eval.cache.hits", 0),
+                "misses": snap.get("eval.cache.misses", 0),
+            }
+            states: Dict[str, int] = {
+                PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0
+            }
+            for record in self._records.values():
+                states[record.state] += 1
+            busy = self._busy
+        cells["hit_ratio"] = (
+            cells["hits"] / cells["lookups"] if cells["lookups"] else None
+        )
+        stats = {
+            "jobs": dict(counters, states=states),
+            "cells": cells,
+            "queue_depth": states[PENDING],
+            "workers": {
+                "max": self.max_workers,
+                "busy": busy,
+                "utilization": busy / self.max_workers,
+            },
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions and (optionally) drain the pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,258 @@
+"""The asyncio HTTP job server: routes, lifecycle, and a test harness.
+
+Endpoints (all JSON):
+
+* ``POST /jobs`` — submit a workload spec.  ``202`` when the job was
+  newly scheduled, ``200`` when it deduped onto an existing record or
+  a cached bundle.  The response carries the content-addressed
+  ``job_id``.
+* ``GET /jobs/<id>`` — job status: state, dedupe provenance, and the
+  streamed progress feed (cell outcomes + obs spans).
+* ``GET /jobs/<id>/result`` — the result bundle, served verbatim from
+  its canonical bytes (byte-identical for every requester); ``409``
+  while the job is still in flight, ``500`` with the error for a
+  failed job.
+* ``GET /healthz`` — liveness.
+* ``GET /stats`` — dedupe counters, cell cache hit ratio, queue depth,
+  worker utilization, and on-disk cache stats.
+* ``POST /shutdown`` — graceful stop (used by the CI smoke driver).
+
+The HTTP loop itself never computes anything: submissions land on the
+:class:`~repro.service.manager.JobManager` worker pool and every
+handler only reads job records, so slow synthesis cannot stall health
+checks or status polling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.eval.parallel import DEFAULT_CACHE_DIR, ResultCache
+from repro.service import http
+from repro.service.manager import DEDUPE_MISS, DONE, FAILED, JobManager
+
+_JOB_ID_CHARS = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` configures."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    workers: int = 2
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+
+    def make_cache(self) -> Optional[ResultCache]:
+        return ResultCache(self.cache_dir) if self.cache_dir is not None else None
+
+
+class Service:
+    """One running job API instance."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.manager = JobManager(
+            cache=config.make_cache(), jobs=config.jobs, workers=config.workers
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.manager.shutdown(wait=True)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await http.read_request(reader)
+                if request is None:
+                    return
+                response = self._dispatch(request)
+            except http.HttpError as exc:
+                response = http.error_response(exc.status, exc.message)
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    def _dispatch(self, request: http.Request) -> bytes:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return http.json_response(200, {"status": "ok"})
+        if route == ("GET", "/stats"):
+            return http.json_response(200, self.manager.stats())
+        if route == ("POST", "/jobs"):
+            return self._submit(request)
+        if route == ("POST", "/shutdown"):
+            self.request_shutdown()
+            return http.json_response(200, {"status": "shutting-down"})
+        job_route = http.split_job_path(request.path)
+        if job_route is not None:
+            if request.method != "GET":
+                raise http.HttpError(405, f"{request.method} not allowed here")
+            return self._job(*job_route)
+        raise http.HttpError(404, f"no route for {request.method} {request.path}")
+
+    def _submit(self, request: http.Request) -> bytes:
+        spec = request.json()
+        try:
+            record, dedupe = self.manager.submit(spec)
+        except ServiceError as exc:
+            raise http.HttpError(400, str(exc))
+        return http.json_response(
+            202 if dedupe == DEDUPE_MISS else 200,
+            {
+                "job_id": record.job_id,
+                "state": record.state,
+                "dedupe": dedupe,
+                "submissions": record.submissions,
+            },
+        )
+
+    def _job(self, job_id: str, tail: Optional[str]) -> bytes:
+        if len(job_id) != 64 or not set(job_id) <= _JOB_ID_CHARS:
+            raise http.HttpError(400, f"malformed job id {job_id!r}")
+        record = self.manager.get(job_id)
+        if record is None:
+            raise http.HttpError(404, f"unknown job {job_id}")
+        if tail is None:
+            return http.json_response(200, record.status_dict())
+        if tail != "result":
+            raise http.HttpError(404, f"unknown job resource {tail!r}")
+        if record.state == FAILED:
+            raise http.HttpError(500, f"job failed: {record.error}")
+        if record.state != DONE or record.bundle_bytes is None:
+            raise http.HttpError(
+                409, f"job {job_id} is {record.state}; result not ready"
+            )
+        return http.response_bytes(200, record.bundle_bytes)
+
+
+async def _serve_async(
+    config: ServiceConfig, port_file: Optional[str] = None
+) -> int:
+    service = Service(config)
+    await service.start()
+    print(
+        f"repro service listening on http://{config.host}:{service.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    if port_file is not None:
+        with open(port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{service.port}\n")
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, service.request_shutdown)
+    except (NotImplementedError, ImportError):  # pragma: no cover - non-POSIX
+        pass
+    await service.wait_shutdown()
+    print("repro service shutting down", file=sys.stderr, flush=True)
+    await service.stop()
+    return 0
+
+
+def run_serve(config: ServiceConfig, port_file: Optional[str] = None) -> int:
+    """Blocking entry point for ``repro serve``."""
+    return asyncio.run(_serve_async(config, port_file=port_file))
+
+
+class ServiceThread:
+    """A service running on a background thread — the harness the tests
+    and the smoke driver use to exercise the real HTTP surface in
+    process.
+
+    Usage::
+
+        with ServiceThread(ServiceConfig(port=0, cache_dir=...)) as svc:
+            client = ServiceClient(svc.base_url)
+            ...
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service: Optional[Service] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self.service = Service(self.config)
+            await self.service.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.service.wait_shutdown()
+            await self.service.stop()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise ServiceError(f"service failed to start: {self._error}")
+        if self.service is None or self.service.port is None:
+            raise ServiceError("service failed to start within 30s")
+        return self
+
+    @property
+    def base_url(self) -> str:
+        assert self.service is not None and self.service.port is not None
+        return f"http://{self.config.host}:{self.service.port}"
+
+    def stop(self) -> None:
+        if self._loop is not None and self.service is not None:
+            with contextlib.suppress(RuntimeError):
+                # RuntimeError: the loop already closed because the
+                # server was stopped another way (POST /shutdown).
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,201 @@
+"""Single-flight deduplication and job lifecycle, with a controllable
+executor.
+
+These tests monkeypatch ``repro.service.manager.execute_spec`` so dedupe
+timing is deterministic (a job can be held mid-flight on an event) and
+fast; the real execution path is covered by ``test_spec.py`` and the
+end-to-end acceptance test in ``test_server.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.service.manager as manager_mod
+from repro.errors import ReproError, ServiceError
+from repro.eval.parallel import ResultCache
+from repro.service import (
+    DEDUPE_BUNDLE_CACHE,
+    DEDUPE_COMPLETED,
+    DEDUPE_INFLIGHT,
+    DEDUPE_MISS,
+    DONE,
+    FAILED,
+    JobManager,
+    canonicalize_spec,
+    job_key,
+)
+
+SPEC = {"kind": "simulate", "benchmark": "cg", "nodes": 8, "topologies": ["mesh"]}
+
+
+def _wait_done(record, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while record.state not in (DONE, FAILED):
+        assert time.monotonic() < deadline, f"job stuck in {record.state}"
+        time.sleep(0.005)
+
+
+def _fake_bundle(spec):
+    return {"schema": 1, "kind": spec["kind"], "spec": dict(spec), "results": {}}
+
+
+@pytest.fixture
+def instant_executor(monkeypatch):
+    def fake(spec, cache=None, jobs=None, progress=None, obs=None):
+        return _fake_bundle(spec)
+
+    monkeypatch.setattr(manager_mod, "execute_spec", fake)
+    return fake
+
+
+class TestSingleFlight:
+    def test_inflight_then_completed_dedupe(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+
+        def blocking(spec, cache=None, jobs=None, progress=None, obs=None):
+            started.set()
+            assert release.wait(10)
+            return _fake_bundle(spec)
+
+        monkeypatch.setattr(manager_mod, "execute_spec", blocking)
+        manager = JobManager(workers=2)
+        try:
+            first, d1 = manager.submit(SPEC)
+            assert d1 == DEDUPE_MISS
+            assert started.wait(10)
+            second, d2 = manager.submit(dict(SPEC))
+            assert second is first
+            assert d2 == DEDUPE_INFLIGHT
+            release.set()
+            _wait_done(first)
+            third, d3 = manager.submit(SPEC)
+            assert third is first
+            assert d3 == DEDUPE_COMPLETED
+            assert first.submissions == 3
+            counters = manager.stats()["jobs"]
+            assert counters["submitted"] == 3
+            assert counters["scheduled"] == 1
+            assert counters["deduped_inflight"] == 1
+            assert counters["deduped_completed"] == 1
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_bundle_cache_survives_manager_restart(
+        self, tmp_path, instant_executor
+    ):
+        cache = ResultCache(str(tmp_path / "c"))
+        first_mgr = JobManager(cache=cache, workers=1)
+        record, _ = first_mgr.submit(SPEC)
+        _wait_done(record)
+        first_mgr.shutdown()
+
+        second_mgr = JobManager(cache=cache, workers=1)
+        try:
+            rehydrated, dedupe = second_mgr.submit(SPEC)
+            assert dedupe == DEDUPE_BUNDLE_CACHE
+            assert rehydrated.state == DONE
+            assert rehydrated.bundle_bytes == record.bundle_bytes
+            assert second_mgr.stats()["jobs"]["bundle_hits"] == 1
+        finally:
+            second_mgr.shutdown()
+
+    def test_job_id_is_the_content_address(self, instant_executor):
+        manager = JobManager(workers=1)
+        try:
+            record, _ = manager.submit(SPEC)
+            assert record.job_id == job_key(canonicalize_spec(SPEC))
+            assert manager.get(record.job_id) is record
+            assert manager.get("0" * 64) is None
+        finally:
+            manager.shutdown()
+
+
+class TestLifecycle:
+    def test_failed_job_records_error(self, monkeypatch):
+        def exploding(spec, cache=None, jobs=None, progress=None, obs=None):
+            raise ReproError("boom")
+
+        monkeypatch.setattr(manager_mod, "execute_spec", exploding)
+        manager = JobManager(workers=1)
+        try:
+            record, _ = manager.submit(SPEC)
+            _wait_done(record)
+            assert record.state == FAILED
+            assert "boom" in record.error
+            assert record.bundle_bytes is None
+            stats = manager.stats()
+            assert stats["jobs"]["failed"] == 1
+            assert stats["jobs"]["states"][FAILED] == 1
+        finally:
+            manager.shutdown()
+
+    def test_state_events_are_streamed_in_order(self, instant_executor):
+        manager = JobManager(workers=1)
+        try:
+            record, _ = manager.submit(SPEC)
+            _wait_done(record)
+            events = record.events()
+            states = [e["state"] for e in events if e["type"] == "state"]
+            assert states == ["running", "done"]
+            assert [e["seq"] for e in events] == list(range(len(events)))
+        finally:
+            manager.shutdown()
+
+    def test_submit_after_shutdown_is_rejected(self, instant_executor):
+        manager = JobManager(workers=1)
+        manager.shutdown()
+        with pytest.raises(ServiceError, match="shutting down"):
+            manager.submit(SPEC)
+
+    def test_malformed_spec_rejected_before_scheduling(self):
+        manager = JobManager(workers=1)
+        try:
+            with pytest.raises(ServiceError, match="'kind'"):
+                manager.submit({"kind": "nope"})
+            assert manager.stats()["jobs"].get("scheduled", 0) == 0
+        finally:
+            manager.shutdown()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ServiceError, match="workers"):
+            JobManager(workers=0)
+
+    def test_stats_shape(self, instant_executor):
+        manager = JobManager(workers=2)
+        try:
+            record, _ = manager.submit(SPEC)
+            _wait_done(record)
+            stats = manager.stats()
+            assert set(stats) >= {"jobs", "cells", "queue_depth", "workers"}
+            assert stats["workers"]["max"] == 2
+            assert 0.0 <= stats["workers"]["utilization"] <= 1.0
+            assert stats["cells"] == {
+                "lookups": 0, "hits": 0, "misses": 0, "hit_ratio": None,
+            }
+        finally:
+            manager.shutdown()
+
+
+class TestRealExecution:
+    def test_cell_counters_fold_into_service_totals(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        manager = JobManager(cache=cache, workers=1)
+        try:
+            record, _ = manager.submit(SPEC)
+            _wait_done(record)
+            assert record.state == DONE
+            cells = manager.stats()["cells"]
+            assert cells["lookups"] == 1
+            assert cells["misses"] == 1
+            assert cells["hit_ratio"] == 0.0
+            cell_events = [
+                e for e in record.events() if e["type"] == "cell"
+            ]
+            assert len(cell_events) == 1
+            assert cell_events[0]["label"].startswith("perf:cg-8:")
+            assert cell_events[0]["cache_hit"] is False
+        finally:
+            manager.shutdown()
